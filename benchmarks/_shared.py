@@ -1,0 +1,19 @@
+"""Shared cached artifacts for the ablation benches."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro import DatasetConfig, build_benchmark, generate_dataset, generic_40nm, place_benchmark
+
+
+@lru_cache(maxsize=2)
+def cached_database(num_samples: int, seed: int = 0):
+    """One OTA1-A database shared across ablation benches."""
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A", seed=seed, iterations=300)
+    tech = generic_40nm()
+    database = generate_dataset(
+        circuit, placement, tech,
+        DatasetConfig(num_samples=num_samples, seed=seed))
+    return circuit, placement, tech, database

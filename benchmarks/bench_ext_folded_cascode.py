@@ -1,0 +1,63 @@
+"""Extension: the full method comparison on a topology outside Table 1.
+
+Runs the folded-cascode OTA (``repro.netlist.extensions``) through the
+same MagicalRoute / AnalogFold comparison to show the pipeline is not
+over-fit to the paper's four benchmarks.
+"""
+
+from conftest import write_result
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    FoMWeights,
+    generic_40nm,
+)
+from repro.baselines import route_magical
+from repro.core import RelaxationConfig
+from repro.model import Gnn3dConfig, TrainConfig
+from repro.netlist.extensions import build_folded_cascode
+from repro.placement import place_benchmark
+
+
+def test_ext_folded_cascode(benchmark, scale):
+    circuit = build_folded_cascode()
+    tech = generic_40nm()
+    placement = place_benchmark(circuit, variant="A", seed=0,
+                                iterations=scale.placement_iterations)
+
+    def run_both():
+        magical, magical_time = route_magical(circuit, placement, tech)
+        fold = AnalogFold(
+            circuit, placement, tech,
+            config=AnalogFoldConfig(
+                dataset=DatasetConfig(num_samples=scale.dataset_samples,
+                                      seed=0),
+                gnn=Gnn3dConfig(seed=0),
+                training=TrainConfig(epochs=scale.train_epochs, seed=0),
+                relaxation=RelaxationConfig(
+                    n_restarts=scale.relax_restarts,
+                    pool_size=scale.relax_pool,
+                    n_derive=min(3, scale.relax_pool), seed=0),
+            ),
+        )
+        return magical, magical_time, fold.run()
+
+    magical, magical_time, fold_result = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    weights = FoMWeights()
+    fom_magical = weights.fom(magical.metrics)
+    fom_fold = weights.fom(fold_result.metrics)
+    lines = ["Extension: folded-cascode OTA (outside the paper's Table 1)",
+             f"MagicalRoute [{magical_time:.2f}s]: {magical.metrics}",
+             f"  FoM {fom_magical:.3f}",
+             f"AnalogFold: {fold_result.metrics}",
+             f"  FoM {fom_fold:.3f}"]
+    write_result("ext_folded_cascode.txt", "\n".join(lines) + "\n")
+
+    benchmark.extra_info["fom_magical"] = round(fom_magical, 3)
+    benchmark.extra_info["fom_analogfold"] = round(fom_fold, 3)
+    assert fold_result.routing.success
+    assert fom_fold <= fom_magical + 1e-9  # candidate set includes db best

@@ -1,0 +1,104 @@
+"""Extension: guidance generality across placements.
+
+The paper motivates AnalogFold partly by GeniusRoute's biased, poorly
+generalizing guidance ("the model's performance may be largely compromised
+when handling designs of varying sizes or aspect ratios").  This bench
+makes that claim measurable on our substrate: train GeniusRoute's VAE on
+the OTA1-A database, then apply its decoded map to the *different*
+placement OTA1-B, versus AnalogFold re-derived on B (per-design, as the
+paper's method is defined).
+"""
+
+from conftest import write_result
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    FoMWeights,
+    build_benchmark,
+    generic_40nm,
+    place_benchmark,
+)
+from repro.baselines import GeniusRoute, GeniusRouteConfig, route_magical
+from repro.core import RelaxationConfig
+from repro.core.dataset import route_and_measure
+from repro.model import Gnn3dConfig, TrainConfig
+
+
+def test_ext_guidance_transfer(benchmark, scale):
+    circuit = build_benchmark("OTA1")
+    tech = generic_40nm()
+    placement_a = place_benchmark(circuit, variant="A", seed=0,
+                                  iterations=scale.placement_iterations)
+    placement_b = place_benchmark(circuit, variant="B", seed=0,
+                                  iterations=scale.placement_iterations)
+
+    def run_transfer():
+        # Train AnalogFold on A (its database also feeds GeniusRoute).
+        fold_a = AnalogFold(
+            circuit, placement_a, tech,
+            config=AnalogFoldConfig(
+                dataset=DatasetConfig(num_samples=scale.dataset_samples,
+                                      seed=0),
+                gnn=Gnn3dConfig(seed=0),
+                training=TrainConfig(epochs=scale.train_epochs, seed=0),
+                relaxation=RelaxationConfig(
+                    n_restarts=scale.relax_restarts,
+                    pool_size=scale.relax_pool,
+                    n_derive=min(3, scale.relax_pool), seed=0),
+            ),
+        )
+        fold_a.build_database()
+
+        genius = GeniusRoute(circuit, placement_a, tech,
+                             config=GeniusRouteConfig(seed=0))
+        genius.fit(fold_a.database)
+        # Transfer: decode the A-trained map but route placement B.
+        genius_b = GeniusRoute(circuit, placement_b, tech,
+                               config=GeniusRouteConfig(seed=0))
+        genius_b.vae = genius.vae
+        genius_b.training_seconds = genius.training_seconds
+        guidance_b = genius_b.generate_guidance(fold_a.database)
+        genius_transfer = route_and_measure(
+            circuit, placement_b, tech, guidance_b)
+
+        # AnalogFold re-derives on B (the paper's per-design protocol).
+        fold_b = AnalogFold(
+            circuit, placement_b, tech,
+            config=AnalogFoldConfig(
+                dataset=DatasetConfig(num_samples=scale.dataset_samples,
+                                      seed=1),
+                gnn=Gnn3dConfig(seed=1),
+                training=TrainConfig(epochs=scale.train_epochs, seed=1),
+                relaxation=RelaxationConfig(
+                    n_restarts=scale.relax_restarts,
+                    pool_size=scale.relax_pool,
+                    n_derive=min(3, scale.relax_pool), seed=1),
+            ),
+        )
+        fold_result = fold_b.run()
+        magical_b, _ = route_magical(circuit, placement_b, tech)
+        return genius_transfer, fold_result, magical_b
+
+    genius_transfer, fold_result, magical_b = benchmark.pedantic(
+        run_transfer, rounds=1, iterations=1)
+
+    weights = FoMWeights()
+    fom_genius = weights.fom(genius_transfer.metrics)
+    fom_fold = weights.fom(fold_result.metrics)
+    fom_magical = weights.fom(magical_b.metrics)
+
+    lines = ["Extension: guidance transfer from placement A to placement B",
+             f"GeniusRoute (A-trained map on B): {genius_transfer.metrics}",
+             f"  FoM {fom_genius:.3f}",
+             f"AnalogFold (re-derived on B):     {fold_result.metrics}",
+             f"  FoM {fom_fold:.3f}",
+             f"MagicalRoute on B (reference):    {magical_b.metrics}",
+             f"  FoM {fom_magical:.3f}"]
+    write_result("ext_transfer.txt", "\n".join(lines) + "\n")
+
+    benchmark.extra_info["fom_genius_transfer"] = round(fom_genius, 3)
+    benchmark.extra_info["fom_analogfold"] = round(fom_fold, 3)
+    # Shape: the per-design AnalogFold must beat the transferred 2D map.
+    assert fom_fold <= fom_genius + 0.1

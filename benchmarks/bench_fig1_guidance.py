@@ -1,0 +1,58 @@
+"""Figure 1(a)/(b): non-uniform routing guidance examples.
+
+Regenerates the paper's guidance illustration as text: each pin access
+point carries its own 1x3 cost vector, and the derived guidance is
+non-uniform (different APs prefer different directions) — unlike
+GeniusRoute's single 2D map.
+"""
+
+import numpy as np
+from conftest import write_result
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    RoutingGrid,
+    build_benchmark,
+    generic_40nm,
+    place_benchmark,
+)
+from repro.core import RelaxationConfig
+from repro.eval.visualize import guidance_histogram, render_guidance
+from repro.model import Gnn3dConfig, TrainConfig
+
+
+def test_fig1_nonuniform_guidance(benchmark, scale):
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A", seed=0,
+                                iterations=scale.placement_iterations)
+    tech = generic_40nm()
+    fold = AnalogFold(
+        circuit, placement, tech,
+        config=AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=scale.dataset_samples, seed=0),
+            gnn=Gnn3dConfig(seed=0),
+            training=TrainConfig(epochs=scale.train_epochs, seed=0),
+            relaxation=RelaxationConfig(
+                n_restarts=scale.relax_restarts, pool_size=scale.relax_pool,
+                n_derive=min(3, scale.relax_pool), seed=0),
+        ),
+    )
+
+    result = benchmark.pedantic(fold.run, rounds=1, iterations=1)
+
+    grid = RoutingGrid(placement, tech)
+    text = render_guidance(result.guidance, grid)
+    hist = guidance_histogram(result.guidance)
+    write_result("fig1_guidance.txt", text + "\n\n" + hist + "\n")
+
+    # Shape: guidance must be non-uniform across access points...
+    vectors = np.stack(list(result.guidance.vectors.values()))
+    per_ap_spread = vectors.std(axis=0).max()
+    benchmark.extra_info["per_ap_spread"] = float(per_ap_spread)
+    assert per_ap_spread > 1e-3, "guidance collapsed to a uniform map"
+    # ...and anisotropic for at least some pins (direction preferences).
+    aniso = (vectors.max(axis=1) - vectors.min(axis=1)).max()
+    benchmark.extra_info["max_anisotropy"] = float(aniso)
+    assert aniso > 1e-3, "guidance has no direction preference anywhere"

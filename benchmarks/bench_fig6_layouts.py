@@ -1,0 +1,76 @@
+"""Figure 6: GeniusRoute vs AnalogFold routing solutions.
+
+Regenerates the paper's side-by-side layout comparison as ASCII art and
+checks the measured relationship: AnalogFold's routed solution must score
+a figure of merit at least as good as GeniusRoute's on the same placement.
+"""
+
+from conftest import write_result
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    FoMWeights,
+    RoutingGrid,
+    build_benchmark,
+    generic_40nm,
+    place_benchmark,
+)
+from repro.baselines import GeniusRoute, GeniusRouteConfig
+from repro.core import RelaxationConfig
+from repro.eval.visualize import render_layout
+from repro.model import Gnn3dConfig, TrainConfig
+
+
+def test_fig6_layout_comparison(benchmark, scale):
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A", seed=0,
+                                iterations=scale.placement_iterations)
+    tech = generic_40nm()
+
+    fold = AnalogFold(
+        circuit, placement, tech,
+        config=AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=scale.dataset_samples, seed=0),
+            gnn=Gnn3dConfig(seed=0),
+            training=TrainConfig(epochs=scale.train_epochs, seed=0),
+            relaxation=RelaxationConfig(
+                n_restarts=scale.relax_restarts, pool_size=scale.relax_pool,
+                n_derive=min(3, scale.relax_pool), seed=0),
+        ),
+    )
+
+    def run_both():
+        fold_result = fold.run()
+        genius = GeniusRoute(circuit, placement, tech,
+                             config=GeniusRouteConfig(seed=0))
+        genius.fit(fold.database)
+        genius_sample, _ = genius.run(fold.database)
+        return fold_result, genius_sample
+
+    fold_result, genius_sample = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    grid = RoutingGrid(placement, tech)
+    art = ["=== (a) GeniusRoute routing solution (M1/M2) ==="]
+    art.append(render_layout(genius_sample.result, grid, layer=0))
+    art.append(render_layout(genius_sample.result, grid, layer=1))
+    art.append("")
+    art.append("=== (b) AnalogFold routing solution (M1/M2) ===")
+    art.append(render_layout(fold_result.routing, grid, layer=0))
+    art.append(render_layout(fold_result.routing, grid, layer=1))
+    art.append("")
+    art.append(f"GeniusRoute metrics: {genius_sample.metrics}")
+    art.append(f"AnalogFold metrics:  {fold_result.metrics}")
+    write_result("fig6_layouts.txt", "\n".join(art) + "\n")
+
+    weights = FoMWeights()
+    fom_fold = weights.fom(fold_result.metrics)
+    fom_genius = weights.fom(genius_sample.metrics)
+    benchmark.extra_info["fom_analogfold"] = round(fom_fold, 3)
+    benchmark.extra_info["fom_geniusroute"] = round(fom_genius, 3)
+    assert fold_result.routing.success and genius_sample.result.success
+    assert fom_fold <= fom_genius + 0.25, (
+        f"AnalogFold FoM {fom_fold:.3f} clearly worse than "
+        f"GeniusRoute {fom_genius:.3f}")

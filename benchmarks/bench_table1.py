@@ -1,0 +1,34 @@
+"""Table 1: benchmark circuit statistics.
+
+Regenerates the paper's Table 1 (device counts per benchmark) and times
+netlist construction.  Expected shape: OTA1/OTA2 report 6/8/2/0/25 and
+OTA3/OTA4 report 16/10/6/4/36 — ours match exactly by construction.
+"""
+
+from conftest import write_result
+
+from repro.eval.tables import format_table1
+from repro.netlist import BENCHMARKS, build_benchmark
+
+#: Paper's Table 1 rows.
+PAPER_TABLE1 = {
+    "OTA1": (6, 8, 2, 0, 25),
+    "OTA2": (6, 8, 2, 0, 25),
+    "OTA3": (16, 10, 6, 4, 36),
+    "OTA4": (16, 10, 6, 4, 36),
+}
+
+
+def test_table1(benchmark):
+    def build_all():
+        return {name: build_benchmark(name) for name in BENCHMARKS}
+
+    circuits = benchmark(build_all)
+
+    for name, expected in PAPER_TABLE1.items():
+        measured = circuits[name].stats().as_row()
+        assert measured == expected, f"{name}: {measured} != paper {expected}"
+
+    table = format_table1()
+    write_result("table1.txt", table + "\n\npaper rows matched exactly\n")
+    benchmark.extra_info["rows_match_paper"] = True

@@ -1,0 +1,39 @@
+"""Benchmark harness configuration.
+
+Every bench writes its reproduction artifact (the regenerated table or
+figure) under ``benchmarks/results/`` so the numbers survive the run.  The
+problem scale is selected with the ``REPRO_SCALE`` environment variable
+(``smoke`` | ``fast`` | ``full`` | ``paper``), defaulting to ``fast``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.compare import SCALES
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale():
+    """The EvalScale chosen via the REPRO_SCALE environment variable."""
+    name = os.environ.get("REPRO_SCALE", "fast")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_SCALE={name!r} not in {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def write_result(name: str, content: str) -> Path:
+    """Persist a regenerated table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content)
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()

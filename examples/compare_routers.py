@@ -1,0 +1,30 @@
+"""Compare all three routing methods on a benchmark cell (Table 2 style).
+
+Runs Schematic / MagicalRoute / GeniusRoute / AnalogFold on one cell and
+prints the paper's Table 2 row block for it.
+
+Run:  python examples/compare_routers.py [CIRCUIT] [VARIANT] [SCALE]
+      python examples/compare_routers.py OTA2 B fast
+"""
+
+import sys
+
+from repro.eval import SCALES, evaluate_cell, format_table2
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "OTA1"
+    variant = sys.argv[2] if len(sys.argv) > 2 else "A"
+    scale = sys.argv[3] if len(sys.argv) > 3 else "smoke"
+    if scale not in SCALES:
+        raise SystemExit(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+
+    print(f"evaluating {circuit}-{variant} at scale {scale!r} "
+          f"({SCALES[scale].dataset_samples} training samples)...")
+    cell = evaluate_cell(circuit, variant, scale=scale)
+    print()
+    print(format_table2([cell]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Visualize non-uniform routing guidance and the layouts it produces.
+
+Derives performance-driven guidance for OTA1, prints the per-access-point
+guidance table (paper Figure 1(a)/(b) as text), and renders the unguided
+vs guided routed layouts side by side (Figure 6 style).
+
+Run:  python examples/guidance_visualization.py
+"""
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    IterativeRouter,
+    RoutingGrid,
+    build_benchmark,
+    generic_40nm,
+    place_benchmark,
+)
+from repro.core import RelaxationConfig
+from repro.eval.visualize import guidance_histogram, render_guidance, render_layout
+from repro.model import Gnn3dConfig, TrainConfig
+
+
+def main() -> None:
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A", seed=0, iterations=300)
+    tech = generic_40nm()
+
+    fold = AnalogFold(
+        circuit, placement, tech,
+        config=AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=12, seed=0),
+            gnn=Gnn3dConfig(hidden=16, num_layers=2, seed=0),
+            training=TrainConfig(epochs=8, seed=0),
+            relaxation=RelaxationConfig(n_restarts=6, pool_size=3,
+                                        n_derive=1, seed=0),
+        ),
+    )
+    result = fold.run()
+
+    grid = RoutingGrid(placement, tech)
+    print(render_guidance(result.guidance, grid))
+    print()
+    print(guidance_histogram(result.guidance))
+
+    # Unguided layout for comparison.
+    unguided_grid = RoutingGrid(placement, tech)
+    unguided = IterativeRouter(unguided_grid).route_all()
+
+    print("\n=== unguided routing (M2) ===")
+    print(render_layout(unguided, unguided_grid, layer=1))
+    print("\n=== AnalogFold-guided routing (M2) ===")
+    guided_grid = RoutingGrid(placement, tech)
+    guided = IterativeRouter(guided_grid, guidance=result.guidance).route_all()
+    print(render_layout(guided, guided_grid, layer=1))
+
+    print(f"\nunguided: wl={unguided.total_wirelength()} vias={unguided.total_vias()}")
+    print(f"guided:   wl={guided.total_wirelength()} vias={guided.total_vias()}")
+    print(f"guided metrics: {result.metrics}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: performance-driven routing of an OTA with AnalogFold.
+
+Builds the OTA1 benchmark, places it, runs the full AnalogFold pipeline
+(database -> 3DGNN -> potential relaxation -> guided routing), and compares
+the result against the unguided MagicalRoute baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    FoMWeights,
+    build_benchmark,
+    generic_40nm,
+    place_benchmark,
+)
+from repro.baselines import route_magical
+from repro.core import RelaxationConfig
+from repro.model import Gnn3dConfig, TrainConfig
+
+
+def main() -> None:
+    # 1. Circuit and placement.
+    circuit = build_benchmark("OTA1")
+    print(f"circuit: {circuit.name} ({circuit.topology}), "
+          f"{len(circuit.devices)} devices, {len(circuit.nets)} nets")
+    placement = place_benchmark(circuit, variant="A", seed=0, iterations=400)
+    width, height = placement.die_size()
+    print(f"placed: {width:.1f} x {height:.1f} um, "
+          f"symmetry error {placement.symmetry_error():.2e}")
+
+    tech = generic_40nm()
+
+    # 2. Baseline: constraint-aware routing without guidance.
+    magical, magical_time = route_magical(circuit, placement, tech)
+    print(f"\nMagicalRoute [{magical_time:.2f}s]: {magical.metrics}")
+
+    # 3. AnalogFold: small training budget for a quick demo; raise
+    #    num_samples / epochs for real runs.
+    fold = AnalogFold(
+        circuit, placement, tech,
+        config=AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=24, seed=0),
+            gnn=Gnn3dConfig(hidden=32, num_layers=3, seed=0),
+            training=TrainConfig(epochs=15, seed=0),
+            relaxation=RelaxationConfig(n_restarts=8, pool_size=4,
+                                        n_derive=3, seed=0),
+        ),
+    )
+    result = fold.run()
+    print(f"\nAnalogFold: {result.metrics}")
+    print("stage runtimes:",
+          {k: f"{v:.2f}s" for k, v in result.stage_seconds.items()})
+
+    # 4. Compare figures of merit (lower is better).
+    weights = FoMWeights()
+    print(f"\nFoM magical:    {weights.fom(magical.metrics):8.3f}")
+    print(f"FoM analogfold: {weights.fom(result.metrics):8.3f}  (lower is better)")
+
+
+if __name__ == "__main__":
+    main()

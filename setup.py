@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (no `wheel` package offline)."""
+
+from setuptools import setup
+
+setup()

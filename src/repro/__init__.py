@@ -1,0 +1,88 @@
+"""AnalogFold: performance-driven analog routing via heterogeneous 3DGNN and
+potential relaxation — a full reproduction of the DAC 2024 paper.
+
+Quickstart::
+
+    from repro import (
+        build_benchmark, place_benchmark, generic_40nm,
+        AnalogFold, AnalogFoldConfig,
+    )
+
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A")
+    fold = AnalogFold(circuit, placement, generic_40nm())
+    result = fold.run()
+    print(result.metrics)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    AnalogFold,
+    AnalogFoldConfig,
+    AnalogFoldResult,
+    DatasetConfig,
+    PotentialFunction,
+    PotentialRelaxer,
+    RelaxationConfig,
+    generate_dataset,
+)
+from repro.extraction import ParasiticNetwork, extract, extract_schematic
+from repro.graph import HeteroGraph, build_hetero_graph
+from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
+from repro.netlist import BENCHMARKS, Circuit, build_benchmark
+from repro.placement import Placement, place_benchmark
+from repro.router import (
+    IterativeRouter,
+    RouterConfig,
+    RoutingGrid,
+    RoutingGuidance,
+    uniform_guidance,
+)
+from repro.simulation import (
+    FoMWeights,
+    PerformanceMetrics,
+    TestbenchConfig,
+    simulate_performance,
+)
+from repro.tech import Technology, generic_40nm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalogFold",
+    "AnalogFoldConfig",
+    "AnalogFoldResult",
+    "DatasetConfig",
+    "PotentialFunction",
+    "PotentialRelaxer",
+    "RelaxationConfig",
+    "generate_dataset",
+    "ParasiticNetwork",
+    "extract",
+    "extract_schematic",
+    "HeteroGraph",
+    "build_hetero_graph",
+    "Gnn3d",
+    "Gnn3dConfig",
+    "Trainer",
+    "TrainConfig",
+    "BENCHMARKS",
+    "Circuit",
+    "build_benchmark",
+    "Placement",
+    "place_benchmark",
+    "IterativeRouter",
+    "RouterConfig",
+    "RoutingGrid",
+    "RoutingGuidance",
+    "uniform_guidance",
+    "FoMWeights",
+    "PerformanceMetrics",
+    "TestbenchConfig",
+    "simulate_performance",
+    "Technology",
+    "generic_40nm",
+    "__version__",
+]

@@ -1,0 +1,6 @@
+"""Baseline routers the paper compares against."""
+
+from repro.baselines.geniusroute import GeniusRoute, GeniusRouteConfig
+from repro.baselines.magical import route_magical
+
+__all__ = ["route_magical", "GeniusRoute", "GeniusRouteConfig"]

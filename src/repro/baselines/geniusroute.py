@@ -1,0 +1,212 @@
+"""GeniusRoute baseline [11]: generative (VAE) 2D routing guidance.
+
+GeniusRoute trains a generative model on existing layouts and decodes a
+*uniform 2D* guidance map telling the router where wires should go.  We
+reproduce the paradigm on our substrates:
+
+* training data: routed layouts from the design database, using the
+  better-performing half as the pseudo-expert corpus (the original trains on
+  manual layouts, which do not exist here — see DESIGN.md section 2);
+* model: a numpy VAE over rasterized 2D wire-density maps of the critical
+  nets;
+* inference: decode a guidance map and convert it to per-access-point
+  routing costs that attract wires toward high-probability regions.
+
+The known limitations the paper criticizes — single 2D resolution, no
+per-net differentiation, no explicit performance objective — are inherent
+to this construction, which is exactly the point of the comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import Database, GuidanceSample, route_and_measure
+from repro.netlist.circuit import Circuit
+from repro.nn import MLP, Adam, Module, Tensor
+from repro.placement.layout import Placement
+from repro.router import RouterConfig, RoutingGrid
+from repro.router.guidance import RoutingGuidance
+from repro.router.result import RoutingResult
+from repro.simulation import TestbenchConfig
+from repro.simulation.metrics import FoMWeights
+
+
+@dataclass(frozen=True)
+class GeniusRouteConfig:
+    """GeniusRoute knobs.
+
+    Attributes:
+        map_size: guidance map resolution (map_size x map_size).
+        latent_dim: VAE latent width.
+        hidden_dim: VAE hidden width.
+        epochs: VAE training epochs.
+        lr: Adam learning rate.
+        kl_weight: beta on the KL term.
+        cost_contrast: how strongly the decoded map shapes routing cost.
+        seed: init/shuffle seed.
+    """
+
+    map_size: int = 16
+    latent_dim: int = 8
+    hidden_dim: int = 64
+    epochs: int = 60
+    lr: float = 2e-3
+    kl_weight: float = 1e-3
+    cost_contrast: float = 0.9
+    seed: int = 0
+
+
+class _Vae(Module):
+    """MLP VAE over flattened guidance maps."""
+
+    def __init__(self, input_dim: int, cfg: GeniusRouteConfig) -> None:
+        rng = np.random.default_rng(cfg.seed)
+        self.encoder = MLP([input_dim, cfg.hidden_dim], rng)
+        self.mu_head = MLP([cfg.hidden_dim, cfg.latent_dim], rng)
+        self.logvar_head = MLP([cfg.hidden_dim, cfg.latent_dim], rng)
+        self.decoder = MLP(
+            [cfg.latent_dim, cfg.hidden_dim, input_dim], rng,
+            final_activation="sigmoid",
+        )
+
+    def encode(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        hidden = self.encoder(x).softplus()
+        return self.mu_head(hidden), self.logvar_head(hidden)
+
+    def decode(self, z: Tensor) -> Tensor:
+        return self.decoder(z)
+
+
+class GeniusRoute:
+    """The GeniusRoute-style guidance generator + router wrapper."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        placement: Placement,
+        tech,
+        config: GeniusRouteConfig | None = None,
+        router_config: RouterConfig | None = None,
+        testbench_config: TestbenchConfig | None = None,
+        routing_pitch: float = 0.5,
+    ) -> None:
+        self.circuit = circuit
+        self.placement = placement
+        self.tech = tech
+        self.config = config or GeniusRouteConfig()
+        self.router_config = router_config
+        self.testbench_config = testbench_config
+        self.routing_pitch = routing_pitch
+        self._grid = RoutingGrid(placement, tech, pitch=routing_pitch)
+        self.vae: _Vae | None = None
+        self.training_seconds = 0.0
+
+    # -- rasterization ---------------------------------------------------------------
+
+    def rasterize(self, result: RoutingResult) -> np.ndarray:
+        """Wire-density map of the critical nets, flattened, in [0, 1]."""
+        size = self.config.map_size
+        grid = self._grid
+        density = np.zeros((size, size))
+        for net in self.circuit.signal_nets():
+            route = result.routes.get(net.name)
+            if route is None:
+                continue
+            for ix, iy, _layer in route.cells():
+                mx = min(int(ix * size / max(grid.nx, 1)), size - 1)
+                my = min(int(iy * size / max(grid.ny, 1)), size - 1)
+                density[mx, my] += 1.0
+        peak = density.max()
+        if peak > 0:
+            density /= peak
+        return density.reshape(-1)
+
+    # -- training ------------------------------------------------------------------------
+
+    def fit(self, database: Database) -> None:
+        """Train the VAE on the better half of the database layouts."""
+        start = time.perf_counter()
+        cfg = self.config
+        weights = FoMWeights()
+        ranked = sorted(database.samples, key=lambda s: weights.fom(s.metrics))
+        corpus = ranked[: max(2, len(ranked) // 2)]
+        maps = np.stack([self.rasterize(s.result) for s in corpus])
+
+        self.vae = _Vae(maps.shape[1], cfg)
+        optimizer = Adam(self.vae.parameters(), lr=cfg.lr)
+        rng = np.random.default_rng(cfg.seed)
+        for _ in range(cfg.epochs):
+            x = Tensor(maps)
+            mu, logvar = self.vae.encode(x)
+            noise = Tensor(rng.standard_normal(mu.shape))
+            z = mu + (logvar * 0.5).exp() * noise
+            recon = self.vae.decode(z)
+            recon_loss = ((recon - x) * (recon - x)).mean()
+            kl = ((mu * mu) + logvar.exp() - logvar - 1.0).mean() * 0.5
+            loss = recon_loss + kl * cfg.kl_weight
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        self.training_seconds = time.perf_counter() - start
+
+    # -- inference --------------------------------------------------------------------------
+
+    def generate_map(self, database: Database) -> np.ndarray:
+        """Decode the guidance map from the corpus's mean latent code."""
+        if self.vae is None:
+            raise RuntimeError("call fit() before generate_map()")
+        weights = FoMWeights()
+        ranked = sorted(database.samples, key=lambda s: weights.fom(s.metrics))
+        corpus = ranked[: max(2, len(ranked) // 2)]
+        maps = np.stack([self.rasterize(s.result) for s in corpus])
+        mu, _ = self.vae.encode(Tensor(maps))
+        z_mean = Tensor(mu.data.mean(axis=0, keepdims=True))
+        return self.vae.decode(z_mean).numpy().reshape(
+            self.config.map_size, self.config.map_size
+        )
+
+    def generate_guidance(self, database: Database) -> RoutingGuidance:
+        """Per-AP guidance from the decoded 2D map.
+
+        The 2D map carries no direction or layer information (the uniform-
+        guidance limitation): every AP gets an isotropic cost scaled down in
+        bright map regions.
+        """
+        guide_map = self.generate_map(database)
+        size = self.config.map_size
+        grid = self._grid
+        guidance = RoutingGuidance()
+        contrast = self.config.cost_contrast
+        for aps in grid.access_points.values():
+            for ap in aps:
+                ix, iy, _layer = ap.cell
+                mx = min(int(ix * size / max(grid.nx, 1)), size - 1)
+                my = min(int(iy * size / max(grid.ny, 1)), size - 1)
+                brightness = float(guide_map[mx, my])
+                cost = 0.7 + contrast * (1.0 - brightness)
+                guidance.set(ap.key, np.full(3, cost))
+        return guidance
+
+    # -- end to end --------------------------------------------------------------------------
+
+    def run(self, database: Database) -> tuple[GuidanceSample, float]:
+        """Generate guidance and route; returns (sample, inference+route s).
+
+        VAE training time is tracked separately in ``training_seconds``,
+        mirroring how the paper reports per-design routing runtime.
+        """
+        if self.vae is None:
+            self.fit(database)
+        start = time.perf_counter()
+        guidance = self.generate_guidance(database)
+        sample = route_and_measure(
+            self.circuit, self.placement, self.tech, guidance,
+            router_config=self.router_config,
+            testbench_config=self.testbench_config,
+            routing_pitch=self.routing_pitch,
+        )
+        return sample, time.perf_counter() - start

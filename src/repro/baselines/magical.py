@@ -1,0 +1,36 @@
+"""MagicalRoute baseline [16]: constraint-aware routing without ML guidance.
+
+The same iterative router as AnalogFold's substrate, run with neutral
+guidance — it honors design rules and symmetry constraints but has no
+performance-driven cost shaping.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.dataset import GuidanceSample, route_and_measure
+from repro.netlist.circuit import Circuit
+from repro.placement.layout import Placement
+from repro.router import RouterConfig
+from repro.router.guidance import uniform_guidance
+from repro.simulation import TestbenchConfig
+
+
+def route_magical(
+    circuit: Circuit,
+    placement: Placement,
+    tech,
+    router_config: RouterConfig | None = None,
+    testbench_config: TestbenchConfig | None = None,
+    routing_pitch: float = 0.5,
+) -> tuple[GuidanceSample, float]:
+    """Route with neutral guidance; returns (sample, wall-clock seconds)."""
+    start = time.perf_counter()
+    sample = route_and_measure(
+        circuit, placement, tech, uniform_guidance(),
+        router_config=router_config,
+        testbench_config=testbench_config,
+        routing_pitch=routing_pitch,
+    )
+    return sample, time.perf_counter() - start

@@ -1,0 +1,183 @@
+"""Command-line interface for the AnalogFold reproduction.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli place OTA1 --variant B --out ota1b.json
+    python -m repro.cli route OTA1 --variant A --guidance guide.json
+    python -m repro.cli fold OTA2 --samples 40 --epochs 20
+    python -m repro.cli compare OTA1 --variant A --scale fast
+    python -m repro.cli export-spice OTA3 --out ota3.sp
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import (
+    AnalogFold,
+    AnalogFoldConfig,
+    DatasetConfig,
+    IterativeRouter,
+    RoutingGrid,
+    build_benchmark,
+    extract,
+    generic_40nm,
+    place_benchmark,
+    simulate_performance,
+)
+from repro.core import RelaxationConfig
+from repro.eval import SCALES, evaluate_cell, format_table1, format_table2
+from repro.eval.runtime import runtime_breakdown_table
+from repro.io import (
+    load_guidance,
+    load_placement,
+    routing_to_def_text,
+    save_guidance,
+    save_placement,
+)
+from repro.io.spice import write_spice
+from repro.model import Gnn3dConfig, TrainConfig
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("circuit", help="benchmark name (OTA1..OTA4)")
+    parser.add_argument("--variant", default="A", choices="ABCD",
+                        help="net-weight placement variant")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(format_table1())
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    circuit = build_benchmark(args.circuit)
+    placement = place_benchmark(circuit, variant=args.variant, seed=args.seed,
+                                iterations=args.iterations)
+    width, height = placement.die_size()
+    print(f"placed {len(placement.positions)} devices: "
+          f"{width:.2f} x {height:.2f} um, hpwl {placement.total_hpwl():.1f}")
+    if args.out:
+        save_placement(placement, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _load_or_place(args: argparse.Namespace):
+    circuit = build_benchmark(args.circuit)
+    if getattr(args, "placement", None):
+        placement = load_placement(circuit, args.placement)
+    else:
+        placement = place_benchmark(circuit, variant=args.variant,
+                                    seed=args.seed, iterations=400)
+    return circuit, placement
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    circuit, placement = _load_or_place(args)
+    tech = generic_40nm()
+    grid = RoutingGrid(placement, tech)
+    guidance = load_guidance(args.guidance) if args.guidance else None
+    start = time.perf_counter()
+    result = IterativeRouter(grid, guidance=guidance).route_all()
+    elapsed = time.perf_counter() - start
+    print(f"routed in {elapsed:.2f}s: success={result.success}, "
+          f"wl={result.total_wirelength()}, vias={result.total_vias()}")
+    metrics = simulate_performance(circuit, extract(result, grid, tech))
+    print(f"post-layout: {metrics}")
+    if args.def_out:
+        from pathlib import Path
+        Path(args.def_out).write_text(routing_to_def_text(result, grid))
+        print(f"wrote {args.def_out}")
+    return 0 if result.success else 1
+
+
+def _cmd_fold(args: argparse.Namespace) -> int:
+    circuit, placement = _load_or_place(args)
+    fold = AnalogFold(
+        circuit, placement, generic_40nm(),
+        config=AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=args.samples, seed=args.seed),
+            gnn=Gnn3dConfig(seed=args.seed),
+            training=TrainConfig(epochs=args.epochs, seed=args.seed),
+            relaxation=RelaxationConfig(n_restarts=args.restarts,
+                                        seed=args.seed),
+        ),
+    )
+    result = fold.run()
+    print(f"AnalogFold metrics: {result.metrics}")
+    print(runtime_breakdown_table(result))
+    if args.guidance_out:
+        save_guidance(result.guidance, args.guidance_out)
+        print(f"wrote {args.guidance_out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    cell = evaluate_cell(args.circuit, args.variant, scale=args.scale,
+                         seed=args.seed)
+    print(format_table2([cell]))
+    return 0
+
+
+def _cmd_export_spice(args: argparse.Namespace) -> int:
+    circuit = build_benchmark(args.circuit)
+    write_spice(circuit, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AnalogFold reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(
+        func=_cmd_table1)
+
+    p_place = sub.add_parser("place", help="place a benchmark")
+    _add_common(p_place)
+    p_place.add_argument("--iterations", type=int, default=1000)
+    p_place.add_argument("--out", help="write placement JSON")
+    p_place.set_defaults(func=_cmd_place)
+
+    p_route = sub.add_parser("route", help="route a benchmark")
+    _add_common(p_route)
+    p_route.add_argument("--placement", help="placement JSON to load")
+    p_route.add_argument("--guidance", help="guidance JSON to apply")
+    p_route.add_argument("--def-out", help="write DEF-like routing dump")
+    p_route.set_defaults(func=_cmd_route)
+
+    p_fold = sub.add_parser("fold", help="run the AnalogFold pipeline")
+    _add_common(p_fold)
+    p_fold.add_argument("--placement", help="placement JSON to load")
+    p_fold.add_argument("--samples", type=int, default=40)
+    p_fold.add_argument("--epochs", type=int, default=20)
+    p_fold.add_argument("--restarts", type=int, default=10)
+    p_fold.add_argument("--guidance-out", help="write derived guidance JSON")
+    p_fold.set_defaults(func=_cmd_fold)
+
+    p_cmp = sub.add_parser("compare", help="Table 2 row for one cell")
+    _add_common(p_cmp)
+    p_cmp.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_sp = sub.add_parser("export-spice", help="write a benchmark netlist")
+    p_sp.add_argument("circuit")
+    p_sp.add_argument("--out", required=True)
+    p_sp.set_defaults(func=_cmd_export_spice)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

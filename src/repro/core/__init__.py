@@ -1,0 +1,27 @@
+"""AnalogFold core: potential modeling, relaxation, dataset, pipeline."""
+
+from repro.core.dataset import DatasetConfig, GuidanceSample, generate_dataset
+from repro.core.pipeline import AnalogFold, AnalogFoldConfig, AnalogFoldResult
+from repro.core.potential import PotentialFunction
+from repro.core.relaxation import PotentialRelaxer, RelaxationConfig, RelaxedGuidance
+from repro.core.sensitivity import (
+    PinSensitivity,
+    guidance_sensitivity,
+    net_sensitivity,
+)
+
+__all__ = [
+    "PotentialFunction",
+    "PotentialRelaxer",
+    "RelaxationConfig",
+    "RelaxedGuidance",
+    "PinSensitivity",
+    "guidance_sensitivity",
+    "net_sensitivity",
+    "DatasetConfig",
+    "GuidanceSample",
+    "generate_dataset",
+    "AnalogFold",
+    "AnalogFoldConfig",
+    "AnalogFoldResult",
+]

@@ -1,0 +1,138 @@
+"""Database construction: sampled guidance -> routed -> simulated labels.
+
+The paper collects training data by running the automatic router under many
+different guidance settings and simulating each result ("learns from the
+automatically generated routing patterns using their performance metrics").
+This module reproduces that loop on our substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.extraction import extract
+from repro.graph import build_hetero_graph
+from repro.graph.hetero import HeteroGraph
+from repro.model.training import TrainSample
+from repro.netlist.circuit import Circuit
+from repro.placement.layout import Placement
+from repro.router import IterativeRouter, RouterConfig, RoutingGrid
+from repro.router.guidance import RoutingGuidance, random_guidance, uniform_guidance
+from repro.router.result import RoutingResult
+from repro.simulation import TestbenchConfig, simulate_performance
+from repro.simulation.metrics import PerformanceMetrics
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Database construction knobs.
+
+    Attributes:
+        num_samples: number of guidance samples routed and simulated.
+        c_max: guidance feasible-region upper bound.
+        seed: sampling seed.
+        include_uniform: prepend one neutral-guidance sample (the unguided
+            router's operating point, anchoring the dataset).
+        routing_pitch: grid pitch in micrometers.
+    """
+
+    num_samples: int = 60
+    c_max: float = 4.0
+    seed: int = 0
+    include_uniform: bool = True
+    routing_pitch: float = 0.5
+
+
+@dataclass
+class GuidanceSample:
+    """One database record.
+
+    Attributes:
+        guidance: the guidance used for routing.
+        result: the routing solution.
+        metrics: simulated post-layout metrics.
+    """
+
+    guidance: RoutingGuidance
+    result: RoutingResult
+    metrics: PerformanceMetrics
+
+
+@dataclass
+class Database:
+    """The constructed design database.
+
+    Attributes:
+        graph: the design's heterogeneous graph (shared by all samples).
+        samples: raw records.
+    """
+
+    graph: HeteroGraph
+    samples: list[GuidanceSample] = field(default_factory=list)
+
+    def train_samples(self) -> list[TrainSample]:
+        """Convert records to supervised 3DGNN samples in graph AP order."""
+        out = []
+        for record in self.samples:
+            guidance_arr = record.guidance.as_array(self.graph.ap_keys)
+            out.append(TrainSample(
+                guidance=guidance_arr,
+                targets=record.metrics.to_normalized(),
+            ))
+        return out
+
+
+def route_and_measure(
+    circuit: Circuit,
+    placement: Placement,
+    tech,
+    guidance: RoutingGuidance,
+    router_config: RouterConfig | None = None,
+    testbench_config: TestbenchConfig | None = None,
+    routing_pitch: float = 0.5,
+) -> GuidanceSample:
+    """Route one guidance setting and simulate the result.
+
+    A fresh grid is built per call because routing mutates occupancy.
+    """
+    grid = RoutingGrid(placement, tech, pitch=routing_pitch)
+    router = IterativeRouter(grid, guidance=guidance, config=router_config)
+    result = router.route_all()
+    parasitics = extract(result, grid, tech)
+    metrics = simulate_performance(circuit, parasitics, testbench_config)
+    return GuidanceSample(guidance=guidance, result=result, metrics=metrics)
+
+
+def generate_dataset(
+    circuit: Circuit,
+    placement: Placement,
+    tech,
+    config: DatasetConfig | None = None,
+    router_config: RouterConfig | None = None,
+    testbench_config: TestbenchConfig | None = None,
+) -> Database:
+    """Build the training database for one (circuit, placement) design."""
+    cfg = config or DatasetConfig()
+    rng = np.random.default_rng(cfg.seed)
+
+    reference_grid = RoutingGrid(placement, tech, pitch=cfg.routing_pitch)
+    graph = build_hetero_graph(reference_grid)
+    keys = graph.ap_keys
+
+    database = Database(graph=graph)
+    guidances: list[RoutingGuidance] = []
+    if cfg.include_uniform:
+        guidances.append(uniform_guidance(keys, c_max=cfg.c_max))
+    while len(guidances) < cfg.num_samples:
+        guidances.append(random_guidance(keys, rng, c_max=cfg.c_max))
+
+    for guidance in guidances[: cfg.num_samples]:
+        database.samples.append(route_and_measure(
+            circuit, placement, tech, guidance,
+            router_config=router_config,
+            testbench_config=testbench_config,
+            routing_pitch=cfg.routing_pitch,
+        ))
+    return database

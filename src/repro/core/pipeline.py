@@ -1,0 +1,217 @@
+"""The end-to-end AnalogFold flow (Figure 1(c) + Figure 2).
+
+Stages, each timed for the Figure 5 runtime breakdown:
+
+1. **Construct database** — sample guidance, route, extract, simulate.
+2. **Model training** — fit the 3DGNN on the database.
+3. **Routing guide generation** — pool-assisted potential relaxation.
+4. **Guided detailed routing** — route with the derived guidance, simulate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import (
+    Database,
+    DatasetConfig,
+    generate_dataset,
+    route_and_measure,
+)
+from repro.core.potential import PotentialFunction
+from repro.core.relaxation import PotentialRelaxer, RelaxationConfig, RelaxedGuidance
+from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
+from repro.netlist.circuit import Circuit
+from repro.placement.layout import Placement
+from repro.router import RouterConfig
+from repro.router.guidance import RoutingGuidance
+from repro.router.result import RoutingResult
+from repro.simulation import TestbenchConfig
+from repro.simulation.metrics import FoMWeights, PerformanceMetrics
+
+
+@dataclass
+class AnalogFoldConfig:
+    """All knobs of the AnalogFold pipeline."""
+
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    gnn: Gnn3dConfig = field(default_factory=Gnn3dConfig)
+    training: TrainConfig = field(default_factory=TrainConfig)
+    relaxation: RelaxationConfig = field(default_factory=RelaxationConfig)
+    fom_weights: FoMWeights = field(default_factory=FoMWeights)
+    router: RouterConfig | None = None
+    testbench: TestbenchConfig | None = None
+    #: "potential" routes only the best-predicted guidance; "simulation"
+    #: routes every derived guidance and keeps the best measured FoM.
+    select_by: str = "simulation"
+    #: With select_by="simulation", also consider the database's best
+    #: already-routed sample as a candidate (no extra routing cost).
+    include_database_best: bool = True
+
+    def __post_init__(self) -> None:
+        if self.select_by not in ("potential", "simulation"):
+            raise ValueError(f"unknown select_by {self.select_by!r}")
+
+
+@dataclass
+class AnalogFoldResult:
+    """Outcome of one AnalogFold run.
+
+    Attributes:
+        guidance: the guidance actually used for the final routing.
+        routing: the final routing solution.
+        metrics: measured post-layout metrics of the final routing.
+        derived: all relaxation outputs (top-N_derive).
+        stage_seconds: wall-clock per stage, keyed by stage name
+            (Figure 5's categories).
+    """
+
+    guidance: RoutingGuidance
+    routing: RoutingResult
+    metrics: PerformanceMetrics
+    derived: list[RelaxedGuidance] = field(default_factory=list)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def runtime_breakdown(self) -> dict[str, float]:
+        """Stage fractions of total runtime (Figure 5)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {k: 0.0 for k in self.stage_seconds}
+        return {k: v / total for k, v in self.stage_seconds.items()}
+
+
+class AnalogFold:
+    """Performance-driven routing-guidance generator for one design.
+
+    Args:
+        circuit: the circuit to route.
+        placement: its placement.
+        tech: technology.
+        config: pipeline configuration.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        placement: Placement,
+        tech,
+        config: AnalogFoldConfig | None = None,
+    ) -> None:
+        self.circuit = circuit
+        self.placement = placement
+        self.tech = tech
+        self.config = config or AnalogFoldConfig()
+        self.database: Database | None = None
+        self.model: Gnn3d | None = None
+        self.stage_seconds: dict[str, float] = {}
+
+    # -- stages ---------------------------------------------------------------------
+
+    def build_database(self) -> Database:
+        """Stage 1: construct the training database."""
+        start = time.perf_counter()
+        self.database = generate_dataset(
+            self.circuit, self.placement, self.tech,
+            config=self.config.dataset,
+            router_config=self.config.router,
+            testbench_config=self.config.testbench,
+        )
+        self.stage_seconds["construct_database"] = time.perf_counter() - start
+        return self.database
+
+    def train(self) -> Gnn3d:
+        """Stage 2: train the 3DGNN on the database."""
+        if self.database is None:
+            self.build_database()
+        start = time.perf_counter()
+        graph = self.database.graph
+        self.model = Gnn3d(
+            graph.ap_features.shape[1],
+            graph.module_features.shape[1],
+            self.config.gnn,
+        )
+        trainer = Trainer(self.model, graph, self.config.training)
+        trainer.fit(self.database.train_samples())
+        self.stage_seconds["model_training"] = time.perf_counter() - start
+        return self.model
+
+    def derive_guidance(self) -> list[RelaxedGuidance]:
+        """Stage 3: relax the potential into top-N guidance solutions."""
+        if self.model is None:
+            self.train()
+        start = time.perf_counter()
+        potential = PotentialFunction(
+            self.model, self.database.graph, weights=self.config.fom_weights,
+            c_max=self.config.dataset.c_max,
+        )
+        relaxer = PotentialRelaxer(self.config.relaxation)
+        derived = relaxer.run(potential, seed_guidance=self._best_database_guidance())
+        self.stage_seconds["guide_generation"] = time.perf_counter() - start
+        return derived
+
+    def _ranked_database_samples(self):
+        weights = self.config.fom_weights
+        return sorted(self.database.samples,
+                      key=lambda s: weights.fom(s.metrics))
+
+    def _best_database_guidance(self) -> list:
+        """Top measured guidance points, as relaxation seeds (Fig. 2(b))."""
+        keys = self.database.graph.ap_keys
+        top = self._ranked_database_samples()[: self.config.relaxation.seed_points]
+        return [s.guidance.as_array(keys) for s in top]
+
+    def route_with_guidance(self, guidance: RoutingGuidance):
+        """Route the design under a guidance and simulate the result."""
+        return route_and_measure(
+            self.circuit, self.placement, self.tech, guidance,
+            router_config=self.config.router,
+            testbench_config=self.config.testbench,
+            routing_pitch=self.config.dataset.routing_pitch,
+        )
+
+    # -- orchestration -----------------------------------------------------------------
+
+    def _to_routing_guidance(self, relaxed: RelaxedGuidance) -> RoutingGuidance:
+        graph = self.database.graph
+        guidance = RoutingGuidance(c_max=self.config.dataset.c_max)
+        for key, vec in zip(graph.ap_keys, relaxed.guidance):
+            guidance.set(key, np.asarray(vec))
+        return guidance
+
+    def run(self) -> AnalogFoldResult:
+        """Run the full pipeline and return the final routed solution."""
+        derived = self.derive_guidance()
+        if not derived:
+            raise RuntimeError("relaxation produced no guidance")
+
+        start = time.perf_counter()
+        weights = self.config.fom_weights
+        if self.config.select_by == "simulation":
+            candidates = [
+                self.route_with_guidance(self._to_routing_guidance(d))
+                for d in derived
+            ]
+            if self.config.include_database_best:
+                candidates.append(self._ranked_database_samples()[0])
+            best_sample = min(candidates, key=lambda s: weights.fom(s.metrics))
+        else:
+            best_derived = min(derived, key=lambda d: d.potential)
+            best_sample = self.route_with_guidance(
+                self._to_routing_guidance(best_derived)
+            )
+        self.stage_seconds["guided_routing"] = time.perf_counter() - start
+
+        return AnalogFoldResult(
+            guidance=best_sample.guidance,
+            routing=best_sample.result,
+            metrics=best_sample.metrics,
+            derived=derived,
+            stage_seconds=dict(self.stage_seconds),
+        )

@@ -1,0 +1,85 @@
+"""The routing-guidance potential ``V(C)`` (Eq. 7-8).
+
+``V(C) = w_FoM . f_theta(G_H, C) + g(C)`` where ``f_theta`` is the trained
+3DGNN (predicting normalized metrics), ``w_FoM`` is the signed FoM weight
+vector, and ``g`` is an interior-point log-barrier keeping every guidance
+component inside the open feasible region ``(0, c_max)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+from repro.model.gnn3d import Gnn3d
+from repro.nn import Tensor
+from repro.simulation.metrics import FoMWeights
+
+
+class PotentialFunction:
+    """Differentiable potential over flattened guidance vectors.
+
+    Args:
+        model: trained 3DGNN.
+        graph: the design's heterogeneous graph (``G_H^val`` in Eq. 7).
+        weights: figure-of-merit weights (equal by default, per the paper).
+        c_max: upper bound of the feasible guidance region.
+        barrier_r: the barrier strength ``r`` of Eq. 8 (small positive).
+    """
+
+    def __init__(
+        self,
+        model: Gnn3d,
+        graph: HeteroGraph,
+        weights: FoMWeights | None = None,
+        c_max: float = 4.0,
+        barrier_r: float = 0.01,
+    ) -> None:
+        if c_max <= 0:
+            raise ValueError(f"c_max must be positive, got {c_max}")
+        if barrier_r <= 0:
+            raise ValueError(f"barrier_r must be positive, got {barrier_r}")
+        self.model = model
+        self.graph = graph
+        self.weights = weights or FoMWeights()
+        self.c_max = c_max
+        self.barrier_r = barrier_r
+        self._w_signed = self.weights.as_signed_vector()
+
+    @property
+    def num_variables(self) -> int:
+        return self.graph.num_aps * 3
+
+    def barrier(self, c: Tensor) -> Tensor:
+        """Interior-point penalty ``g(C)`` of Eq. 8."""
+        return (c.log() + (Tensor(np.array(self.c_max)) - c).log()).sum() * (
+            -self.barrier_r
+        )
+
+    def value_and_grad(self, c_flat: np.ndarray) -> tuple[float, np.ndarray]:
+        """Potential value and gradient for a flattened guidance vector.
+
+        Infeasible inputs (outside the open region) return +inf with a
+        gradient pushing back toward feasibility, so line searches recover.
+        """
+        c_arr = np.asarray(c_flat, dtype=float).reshape(self.graph.num_aps, 3)
+        eps = 1e-9
+        if (c_arr <= eps).any() or (c_arr >= self.c_max - eps).any():
+            grad = np.where(c_arr <= eps, -1.0, np.where(
+                c_arr >= self.c_max - eps, 1.0, 0.0))
+            return float("inf"), grad.reshape(-1)
+
+        c = Tensor(c_arr, requires_grad=True)
+        pred = self.model(self.graph, c)
+        fom = (pred * Tensor(self._w_signed)).sum()
+        total = fom + self.barrier(c)
+        total.backward()
+        return total.item(), c.grad.reshape(-1).copy()
+
+    def value(self, c_flat: np.ndarray) -> float:
+        return self.value_and_grad(c_flat)[0]
+
+    def predicted_metrics(self, c_flat: np.ndarray) -> np.ndarray:
+        """Normalized metric predictions at a guidance point (no grad)."""
+        c = Tensor(np.asarray(c_flat, dtype=float).reshape(self.graph.num_aps, 3))
+        return self.model(self.graph, c).numpy()

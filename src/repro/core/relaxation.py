@@ -1,0 +1,152 @@
+"""Pool-assisted potential relaxation (Section 4.3, Figure 2(b)).
+
+L-BFGS minimizes ``V(C)`` from many initializations.  A pool of the
+``pool_size`` lowest-potential solutions is maintained; once the pool is
+full, a fraction ``p_relax`` of subsequent restarts re-initialize from a
+pool member with Gaussian noise added — the paper's noisy-restart escape
+from local optima.  The top ``n_derive`` solutions are returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.core.potential import PotentialFunction
+
+
+@dataclass(frozen=True)
+class RelaxationConfig:
+    """Relaxation knobs.
+
+    Attributes:
+        n_restarts: total L-BFGS runs.
+        pool_size: ``N_pool``, retained lowest-potential solutions.
+        p_relax: fraction of restarts seeded from the pool once full.
+        n_derive: ``N_derive``, solutions returned.
+        noise_sigma: std of the noise added to pool-seeded restarts.
+        maxiter: L-BFGS iteration cap per restart.
+        init_low: lower bound of the uniform initial distribution.
+        init_high: upper bound of the uniform initial distribution.
+        seed_points: how many restarts are initialized from caller-provided
+            guidance points (Figure 2(b): restarts sample from the routing
+            guidance distributions of the database, not only from a uniform
+            prior).
+        seed: RNG seed.
+    """
+
+    n_restarts: int = 12
+    pool_size: int = 6
+    p_relax: float = 0.5
+    n_derive: int = 3
+    noise_sigma: float = 0.3
+    maxiter: int = 40
+    init_low: float = 0.5
+    init_high: float = 2.0
+    seed_points: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_derive > self.pool_size:
+            raise ValueError(
+                f"n_derive {self.n_derive} exceeds pool_size {self.pool_size}"
+            )
+        if not 0.0 <= self.p_relax <= 1.0:
+            raise ValueError(f"p_relax must be in [0, 1], got {self.p_relax}")
+
+
+@dataclass
+class RelaxedGuidance:
+    """One relaxation outcome.
+
+    Attributes:
+        guidance: (num_aps, 3) optimized guidance array.
+        potential: final potential value.
+        from_pool: whether the restart was seeded from the pool.
+    """
+
+    guidance: np.ndarray
+    potential: float
+    from_pool: bool = False
+
+
+@dataclass
+class RelaxationTrace:
+    """Diagnostics of one relaxation run."""
+
+    restarts: int = 0
+    pool_seeded: int = 0
+    best_per_restart: list[float] = field(default_factory=list)
+
+
+class PotentialRelaxer:
+    """Runs pool-assisted relaxation over a :class:`PotentialFunction`."""
+
+    def __init__(self, config: RelaxationConfig | None = None) -> None:
+        self.config = config or RelaxationConfig()
+        self.trace = RelaxationTrace()
+
+    def run(
+        self,
+        potential: PotentialFunction,
+        seed_guidance: list[np.ndarray] | None = None,
+    ) -> list[RelaxedGuidance]:
+        """Derive the top-``n_derive`` guidance solutions.
+
+        Args:
+            potential: the trained potential function.
+            seed_guidance: optional (num_aps, 3) arrays to initialize the
+                first ``seed_points`` restarts from (the database's
+                best-performing guidance points, per Figure 2(b)).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        num_aps = potential.graph.num_aps
+        n_vars = potential.num_variables
+        margin = 1e-3
+        bounds = [(margin, potential.c_max - margin)] * n_vars
+        seeds = list(seed_guidance or [])[: cfg.seed_points]
+
+        pool: list[RelaxedGuidance] = []
+        for restart in range(cfg.n_restarts):
+            from_pool = len(pool) >= cfg.pool_size and rng.random() < cfg.p_relax
+            if restart < len(seeds):
+                x0 = np.asarray(seeds[restart], dtype=float).reshape(-1)
+                if x0.shape != (n_vars,):
+                    raise ValueError(
+                        f"seed guidance has {x0.size} values, expected {n_vars}"
+                    )
+                from_pool = False
+            elif from_pool:
+                seed_sol = pool[rng.integers(len(pool))]
+                x0 = seed_sol.guidance.reshape(-1) + rng.normal(
+                    0.0, cfg.noise_sigma, size=n_vars
+                )
+                self.trace.pool_seeded += 1
+            else:
+                x0 = rng.uniform(cfg.init_low, cfg.init_high, size=n_vars)
+            x0 = np.clip(x0, margin * 2, potential.c_max - margin * 2)
+
+            result = minimize(
+                potential.value_and_grad,
+                x0,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": cfg.maxiter},
+            )
+            solution = RelaxedGuidance(
+                guidance=np.clip(result.x, margin, potential.c_max - margin)
+                .reshape(num_aps, 3),
+                potential=float(result.fun),
+                from_pool=from_pool,
+            )
+            pool.append(solution)
+            pool.sort(key=lambda s: s.potential)
+            del pool[cfg.pool_size:]
+            self.trace.restarts += 1
+            self.trace.best_per_restart.append(pool[0].potential)
+
+        return pool[: cfg.n_derive]

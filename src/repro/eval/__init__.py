@@ -1,0 +1,27 @@
+"""Evaluation harness: Table 1/2, Figure 5/6, and formatting helpers."""
+
+from repro.eval.compare import (
+    CellResult,
+    EvalScale,
+    MethodResult,
+    SCALES,
+    evaluate_cell,
+    normalized_averages,
+)
+from repro.eval.runtime import runtime_breakdown_table
+from repro.eval.tables import format_table1, format_table2
+from repro.eval.visualize import render_guidance, render_layout
+
+__all__ = [
+    "CellResult",
+    "MethodResult",
+    "EvalScale",
+    "SCALES",
+    "evaluate_cell",
+    "normalized_averages",
+    "format_table1",
+    "format_table2",
+    "runtime_breakdown_table",
+    "render_layout",
+    "render_guidance",
+]

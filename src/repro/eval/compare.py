@@ -1,0 +1,184 @@
+"""Head-to-head comparison of Schematic / MagicalRoute / GeniusRoute /
+AnalogFold on the benchmark cells (the paper's Table 2).
+
+Problem sizes are controlled by an :class:`EvalScale`; the ``smoke`` scale
+runs in seconds for CI, ``fast`` is the default benchmark scale, ``paper``
+approaches the paper's sample budget (2000 samples per design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.geniusroute import GeniusRoute, GeniusRouteConfig
+from repro.baselines.magical import route_magical
+from repro.core.dataset import DatasetConfig
+from repro.core.pipeline import AnalogFold, AnalogFoldConfig
+from repro.core.relaxation import RelaxationConfig
+from repro.model import Gnn3dConfig, TrainConfig
+from repro.netlist import build_benchmark
+from repro.placement import place_benchmark
+from repro.simulation.metrics import (
+    HIGHER_IS_BETTER,
+    METRIC_NAMES,
+    PerformanceMetrics,
+)
+from repro.extraction import extract_schematic
+from repro.simulation import simulate_performance
+from repro.tech import generic_40nm
+
+
+@dataclass(frozen=True)
+class EvalScale:
+    """Problem-size preset for a comparison run."""
+
+    name: str
+    dataset_samples: int
+    train_epochs: int
+    relax_restarts: int
+    relax_pool: int
+    placement_iterations: int
+
+    def analogfold_config(self, seed: int = 0) -> AnalogFoldConfig:
+        return AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=self.dataset_samples, seed=seed),
+            gnn=Gnn3dConfig(seed=seed),
+            training=TrainConfig(epochs=self.train_epochs, seed=seed),
+            relaxation=RelaxationConfig(
+                n_restarts=self.relax_restarts,
+                pool_size=self.relax_pool,
+                n_derive=min(3, self.relax_pool),
+                seed=seed,
+            ),
+        )
+
+
+SCALES: dict[str, EvalScale] = {
+    "smoke": EvalScale("smoke", dataset_samples=6, train_epochs=3,
+                       relax_restarts=3, relax_pool=2, placement_iterations=100),
+    "fast": EvalScale("fast", dataset_samples=40, train_epochs=20,
+                      relax_restarts=10, relax_pool=5, placement_iterations=400),
+    "full": EvalScale("full", dataset_samples=150, train_epochs=60,
+                      relax_restarts=16, relax_pool=8, placement_iterations=1500),
+    "paper": EvalScale("paper", dataset_samples=2000, train_epochs=200,
+                       relax_restarts=32, relax_pool=12, placement_iterations=3000),
+}
+
+
+@dataclass
+class MethodResult:
+    """One method's outcome on one cell."""
+
+    metrics: PerformanceMetrics
+    runtime_s: float
+
+
+@dataclass
+class CellResult:
+    """All methods' outcomes on one benchmark cell (e.g. OTA1-A)."""
+
+    circuit: str
+    variant: str
+    schematic: PerformanceMetrics
+    methods: dict[str, MethodResult] = field(default_factory=dict)
+
+    @property
+    def cell_name(self) -> str:
+        return f"{self.circuit}-{self.variant}"
+
+
+#: Method display order, matching the paper's column order.
+METHOD_ORDER = ("magical", "genius", "analogfold")
+
+
+def evaluate_cell(
+    circuit_name: str,
+    variant: str = "A",
+    scale: EvalScale | str = "fast",
+    seed: int = 0,
+) -> CellResult:
+    """Run all methods on one cell and collect metrics + runtimes.
+
+    Runtime accounting follows the paper's Table 2: per-design routing
+    runtime including guidance inference, excluding one-time model training
+    (training is reported in the Figure 5 breakdown instead).
+    """
+    if isinstance(scale, str):
+        scale = SCALES[scale]
+    tech = generic_40nm()
+    circuit = build_benchmark(circuit_name)
+    placement = place_benchmark(
+        circuit, variant=variant, seed=seed,
+        iterations=scale.placement_iterations,
+    )
+
+    schematic = simulate_performance(circuit, extract_schematic(list(circuit.nets)))
+    result = CellResult(circuit=circuit_name, variant=variant, schematic=schematic)
+
+    # MagicalRoute: unguided constraint-aware routing.
+    magical_sample, magical_time = route_magical(circuit, placement, tech)
+    result.methods["magical"] = MethodResult(magical_sample.metrics, magical_time)
+
+    # AnalogFold: full pipeline; per-design runtime = guide gen + routing.
+    fold = AnalogFold(circuit, placement, tech,
+                      config=scale.analogfold_config(seed=seed))
+    fold_result = fold.run()
+    fold_time = (fold_result.stage_seconds.get("guide_generation", 0.0)
+                 + fold_result.stage_seconds.get("guided_routing", 0.0))
+    result.methods["analogfold"] = MethodResult(fold_result.metrics, fold_time)
+
+    # GeniusRoute: VAE guidance trained on the same database.
+    genius = GeniusRoute(circuit, placement, tech,
+                         config=GeniusRouteConfig(seed=seed))
+    genius.fit(fold.database)
+    genius_sample, genius_time = genius.run(fold.database)
+    result.methods["genius"] = MethodResult(genius_sample.metrics, genius_time)
+
+    return result
+
+
+def normalized_averages(cells: list[CellResult]) -> dict[str, dict[str, float]]:
+    """Per-method geometric-mean metric ratios vs MagicalRoute (= 1.000).
+
+    Reproduces the paper's "Average" block at the bottom of Table 2.
+    """
+    import math
+
+    if not cells:
+        raise ValueError("no cells to average")
+    averages: dict[str, dict[str, float]] = {}
+    for method in METHOD_ORDER:
+        ratios: dict[str, float] = {}
+        for metric in METRIC_NAMES:
+            logs = []
+            for cell in cells:
+                ours = getattr(cell.methods[method].metrics, metric)
+                base = getattr(cell.methods["magical"].metrics, metric)
+                ours = max(abs(ours), 1e-9)
+                base = max(abs(base), 1e-9)
+                logs.append(math.log(ours / base))
+            ratios[metric] = math.exp(sum(logs) / len(logs))
+        runtime_logs = []
+        for cell in cells:
+            ours = max(cell.methods[method].runtime_s, 1e-9)
+            base = max(cell.methods["magical"].runtime_s, 1e-9)
+            runtime_logs.append(math.log(ours / base))
+        ratios["runtime_s"] = math.exp(sum(runtime_logs) / len(runtime_logs))
+        averages[method] = ratios
+    return averages
+
+
+def wins_against(
+    cells: list[CellResult], method: str, baseline: str
+) -> dict[str, int]:
+    """Count of cells where ``method`` beats ``baseline`` per metric."""
+    wins = {metric: 0 for metric in METRIC_NAMES}
+    for cell in cells:
+        ours = cell.methods[method].metrics
+        theirs = cell.methods[baseline].metrics
+        for metric in METRIC_NAMES:
+            a, b = getattr(ours, metric), getattr(theirs, metric)
+            better = a > b if HIGHER_IS_BETTER[metric] else a < b
+            if better:
+                wins[metric] += 1
+    return wins

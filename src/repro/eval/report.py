@@ -1,0 +1,57 @@
+"""Collate benchmark artifacts into a single markdown reproduction report."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+#: Artifact file -> report section title, in paper order.
+ARTIFACT_SECTIONS = [
+    ("table1.txt", "Table 1 — benchmark circuits"),
+    ("table2.txt", "Table 2 — method comparison"),
+    ("fig1_guidance.txt", "Figure 1 — non-uniform guidance"),
+    ("fig2_relaxation.txt", "Figure 2(b) — potential relaxation"),
+    ("fig5_runtime.txt", "Figure 5 — runtime breakdown"),
+    ("fig6_layouts.txt", "Figure 6 — routing solutions"),
+    ("ablation_rbf.txt", "Ablation — RBF expansion"),
+    ("ablation_distance.txt", "Ablation — cost-aware distance"),
+    ("ablation_pool.txt", "Ablation — pool-assisted relaxation"),
+    ("ablation_hetero.txt", "Ablation — heterogeneous graph"),
+]
+
+
+def collate_report(results_dir: str | Path) -> str:
+    """Build a markdown report from whatever artifacts exist.
+
+    Missing artifacts are listed so a partial bench run is visible instead
+    of silently shrinking the report.
+    """
+    results = Path(results_dir)
+    lines = ["# AnalogFold reproduction report", "",
+             f"Artifacts from `{results}`.", ""]
+    missing = []
+    for filename, title in ARTIFACT_SECTIONS:
+        path = results / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("```text")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append("## Missing artifacts")
+        lines.append("")
+        lines.append("Re-run `pytest benchmarks/ --benchmark-only` to produce:")
+        for filename in missing:
+            lines.append(f"- `{filename}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: str | Path, out_path: str | Path) -> Path:
+    """Write the collated report; returns the output path."""
+    out = Path(out_path)
+    out.write_text(collate_report(results_dir))
+    return out

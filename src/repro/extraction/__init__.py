@@ -1,0 +1,24 @@
+"""Parasitic extraction (R + C + coupling C) from routed geometry.
+
+Replaces Calibre PEX (DESIGN.md section 2): rule-based extraction over grid
+geometry, producing a reduced star RC model per net plus inter-net coupling
+capacitors, consumed directly by the MNA simulator.
+"""
+
+from repro.extraction.parasitics import (
+    NetParasitics,
+    ParasiticNetwork,
+    extract,
+    extract_schematic,
+)
+from repro.extraction.rc import path_resistance, segment_capacitance, segment_resistance
+
+__all__ = [
+    "NetParasitics",
+    "ParasiticNetwork",
+    "extract",
+    "extract_schematic",
+    "path_resistance",
+    "segment_capacitance",
+    "segment_resistance",
+]

@@ -1,0 +1,69 @@
+"""Inter-net coupling capacitance from parallel and crossing wires."""
+
+from __future__ import annotations
+
+from repro.router.grid import GridNode, RoutingGrid
+from repro.router.result import RoutingResult
+from repro.tech.technology import Technology
+
+#: Same-layer neighbour offsets considered coupled, with 1/distance weight.
+_LATERAL_OFFSETS = [
+    ((1, 0), 1.0), ((-1, 0), 1.0), ((0, 1), 1.0), ((0, -1), 1.0),
+    ((2, 0), 0.5), ((-2, 0), 0.5), ((0, 2), 0.5), ((0, -2), 0.5),
+]
+
+
+def lateral_coupling(tech: Technology, layer: int, pitch: float, weight: float) -> float:
+    """Coupling capacitance for one cell-pair of same-layer parallel run.
+
+    The layer's coupling constant is quoted at minimum spacing; on the
+    routing grid the spacing is (pitch - width), so the value is scaled by
+    min_spacing / actual_spacing and by the neighbour weight.
+    """
+    lyr = tech.layer(layer)
+    spacing = max(pitch - tech.rules.default_width(layer), lyr.min_spacing)
+    scale = lyr.min_spacing / spacing
+    return lyr.coupling_cap * pitch * scale * weight
+
+
+def vertical_coupling(tech: Technology, lower_layer: int, pitch: float) -> float:
+    """Crossover capacitance where wires on adjacent layers overlap."""
+    width = tech.rules.default_width(lower_layer)
+    # Parallel-plate over the overlap area with an inter-layer constant of
+    # the same magnitude as area cap to substrate.
+    return tech.layer(lower_layer).area_cap * pitch * width * 2.0
+
+
+def extract_coupling(
+    result: RoutingResult, grid: RoutingGrid, tech: Technology
+) -> dict[tuple[str, str], float]:
+    """Total coupling capacitance between every pair of routed nets.
+
+    Returns a dict keyed by sorted net-name pairs, in farads.
+    """
+    cell_owner: dict[GridNode, str] = {}
+    for name, route in result.routes.items():
+        for cell in route.cells():
+            cell_owner[cell] = name
+
+    coupling: dict[tuple[str, str], float] = {}
+
+    def add(net_a: str, net_b: str, value: float) -> None:
+        if net_a == net_b:
+            return
+        key = (net_a, net_b) if net_a < net_b else (net_b, net_a)
+        coupling[key] = coupling.get(key, 0.0) + value
+
+    pitch = grid.pitch
+    for cell, net in cell_owner.items():
+        ix, iy, layer = cell
+        for (dx, dy), weight in _LATERAL_OFFSETS:
+            other = cell_owner.get((ix + dx, iy + dy, layer))
+            if other is not None and other != net:
+                # Each pair is visited from both sides; halve to compensate.
+                add(net, other, 0.5 * lateral_coupling(tech, layer, pitch, weight))
+        if layer + 1 < grid.num_layers:
+            above = cell_owner.get((ix, iy, layer + 1))
+            if above is not None and above != net:
+                add(net, above, vertical_coupling(tech, layer, pitch))
+    return coupling

@@ -1,0 +1,127 @@
+"""Reduced parasitic network: star RC per net + inter-net coupling.
+
+Each routed net reduces to a star model: one internal node carrying the
+net's total ground capacitance, with a series resistance from the internal
+node to every terminal equal to the routed-tree resistance from that
+terminal to the net root (first access point).  Coupling capacitors connect
+internal nodes of different nets.
+
+The star model overestimates terminal-to-terminal resistance when paths
+share trunk segments, but it is monotone in routed length and preserves the
+asymmetry between mirrored nets — the properties the performance model must
+learn (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.extraction.coupling import extract_coupling
+from repro.extraction.rc import path_resistance, segment_capacitance, segment_resistance
+from repro.router.grid import GridNode, RoutingGrid
+from repro.router.result import RoutingResult
+from repro.tech.technology import Technology
+
+Terminal = tuple[str, str]
+
+
+@dataclass
+class NetParasitics:
+    """Reduced parasitics of one net.
+
+    Attributes:
+        net: net name.
+        terminal_resistance: series R (ohm) from the net's internal node to
+            each terminal, keyed by (device, pin).
+        ground_cap: total wire capacitance to substrate (farad).
+        total_resistance: sum of all segment resistances (diagnostic).
+    """
+
+    net: str
+    terminal_resistance: dict[Terminal, float] = field(default_factory=dict)
+    ground_cap: float = 0.0
+    total_resistance: float = 0.0
+
+
+@dataclass
+class ParasiticNetwork:
+    """Complete extracted parasitics for a routed circuit.
+
+    Attributes:
+        nets: per-net reduced RC models.
+        coupling: coupling capacitance between net pairs, keyed by the
+            sorted (net_a, net_b) tuple, in farads.
+    """
+
+    nets: dict[str, NetParasitics] = field(default_factory=dict)
+    coupling: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def net_coupling(self, net: str) -> float:
+        """Total coupling capacitance seen by one net."""
+        return sum(v for (a, b), v in self.coupling.items() if net in (a, b))
+
+    def resistance_mismatch(self, net_a: str, net_b: str) -> float:
+        """Mean absolute terminal-resistance mismatch between two nets.
+
+        Used by the offset model: symmetric net pairs with mismatched wire
+        resistance generate input-referred offset.
+        """
+        pa = self.nets.get(net_a)
+        pb = self.nets.get(net_b)
+        if pa is None or pb is None:
+            return 0.0
+        ra = sorted(pa.terminal_resistance.values())
+        rb = sorted(pb.terminal_resistance.values())
+        if not ra or not rb:
+            return 0.0
+        n = min(len(ra), len(rb))
+        return sum(abs(x - y) for x, y in zip(ra[:n], rb[:n])) / n
+
+    def coupling_mismatch(self, net_a: str, net_b: str) -> float:
+        """Difference in total coupling between two (symmetric) nets."""
+        return abs(self.net_coupling(net_a) - self.net_coupling(net_b))
+
+
+def extract(
+    result: RoutingResult, grid: RoutingGrid, tech: Technology
+) -> ParasiticNetwork:
+    """Extract reduced parasitics from a routed solution."""
+    network = ParasiticNetwork()
+    pitch = grid.pitch
+
+    for name, route in result.routes.items():
+        parasitics = NetParasitics(net=name)
+        cells = route.cells()
+        adjacency: dict[GridNode, dict[GridNode, float]] = {c: {} for c in cells}
+        total_r = 0.0
+        for a, b in route.segments():
+            r = segment_resistance(tech, a, b, pitch)
+            adjacency[a][b] = min(adjacency[a].get(b, float("inf")), r)
+            adjacency[b][a] = min(adjacency[b].get(a, float("inf")), r)
+            total_r += r
+        parasitics.total_resistance = total_r
+        parasitics.ground_cap = sum(
+            segment_capacitance(tech, cell, pitch) for cell in cells
+        )
+        if route.access_points:
+            root = route.access_points[0].cell
+            for ap in route.access_points:
+                r = path_resistance(grid, adjacency, root, ap.cell)
+                if r == float("inf"):
+                    # Unconnected terminal (failed route): large but finite
+                    # so the simulator stays solvable and the sample scores
+                    # poorly rather than crashing.
+                    r = 1e6
+                parasitics.terminal_resistance[(ap.device, ap.pin)] = r
+        network.nets[name] = parasitics
+
+    network.coupling = extract_coupling(result, grid, tech)
+    return network
+
+
+def extract_schematic(net_names: list[str]) -> ParasiticNetwork:
+    """The schematic-level (pre-layout) parasitic network: all zeros."""
+    network = ParasiticNetwork()
+    for name in net_names:
+        network.nets[name] = NetParasitics(net=name)
+    return network

@@ -1,0 +1,58 @@
+"""Per-segment wire resistance and ground capacitance rules."""
+
+from __future__ import annotations
+
+from repro.router.grid import GridNode, RoutingGrid
+from repro.tech.technology import Technology
+
+
+def segment_resistance(
+    tech: Technology, a: GridNode, b: GridNode, pitch: float
+) -> float:
+    """Resistance of one unit routing segment between adjacent cells.
+
+    Planar segments use sheet resistance at the layer's default width; layer
+    changes use the via resistance.
+    """
+    if a[2] != b[2]:
+        return tech.stack.via_between(a[2], b[2]).resistance
+    layer = tech.layer(a[2])
+    return layer.wire_resistance(pitch, tech.rules.default_width(a[2]))
+
+
+def segment_capacitance(tech: Technology, cell: GridNode, pitch: float) -> float:
+    """Ground capacitance contributed by one occupied grid cell."""
+    layer = tech.layer(cell[2])
+    return layer.wire_ground_cap(pitch, tech.rules.default_width(cell[2]))
+
+
+def path_resistance(
+    grid: RoutingGrid,
+    adjacency: dict[GridNode, dict[GridNode, float]],
+    source: GridNode,
+    target: GridNode,
+) -> float:
+    """Resistance along the routed tree between two cells (Dijkstra).
+
+    The routed net is a tree (or near-tree); Dijkstra over segment
+    resistances gives the series resistance of the unique connecting path.
+    Returns ``inf`` when the cells are not connected.
+    """
+    import heapq
+
+    if source == target:
+        return 0.0
+    dist: dict[GridNode, float] = {source: 0.0}
+    heap: list[tuple[float, GridNode]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node == target:
+            return d
+        if d > dist.get(node, float("inf")):
+            continue
+        for nxt, r in adjacency.get(node, {}).items():
+            nd = d + r
+            if nd < dist.get(nxt, float("inf")):
+                dist[nxt] = nd
+                heapq.heappush(heap, (nd, nxt))
+    return float("inf")

@@ -1,0 +1,124 @@
+"""Construct the heterogeneous graph from a placement and its routing grid.
+
+Edge construction (Section 4.1):
+
+* ``E_PP``: access points of the same net are fully connected (they will be
+  wired together), and access points of *different* nets within a proximity
+  radius are connected — modeling routing-resource competition;
+* ``E_MM``: modules sharing a net are connected (logical netlist view);
+* ``E_MP``: every access point connects to its owning module, bridging the
+  physical and logical views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.features import ap_features, module_features
+from repro.graph.hetero import EdgeType, HeteroGraph
+from repro.router.grid import RoutingGrid
+
+#: Chebyshev proximity radius (grid cells) for cross-net competition edges.
+DEFAULT_PROXIMITY_RADIUS = 6.0
+#: Cap on cross-net neighbours per access point to bound graph size.
+MAX_PROXIMITY_NEIGHBOURS = 6
+
+
+def build_hetero_graph(
+    grid: RoutingGrid,
+    proximity_radius: float = DEFAULT_PROXIMITY_RADIUS,
+    max_neighbours: int = MAX_PROXIMITY_NEIGHBOURS,
+) -> HeteroGraph:
+    """Build ``G_H`` for the placement behind ``grid``."""
+    placement = grid.placement
+    circuit = placement.circuit
+    extent = (float(grid.nx), float(grid.ny), float(grid.num_layers))
+
+    # -- access point nodes -------------------------------------------------------
+    ap_keys: list[tuple[str, str]] = []
+    ap_nets: list[str] = []
+    ap_pos_rows: list[tuple[float, float, float]] = []
+    ap_feat_rows: list[np.ndarray] = []
+    for net_name in sorted(grid.access_points):
+        net = circuit.net(net_name)
+        for ap in grid.access_points[net_name]:
+            ap_keys.append(ap.key)
+            ap_nets.append(net_name)
+            ap_pos_rows.append(tuple(float(c) for c in ap.cell))
+            ap_feat_rows.append(ap_features(ap, net, circuit, extent))
+    num_aps = len(ap_keys)
+
+    # -- module nodes ----------------------------------------------------------------
+    module_names = sorted(placement.positions)
+    module_index = {name: i for i, name in enumerate(module_names)}
+    mod_pos_rows: list[tuple[float, float, float]] = []
+    mod_feat_rows: list[np.ndarray] = []
+    for name in module_names:
+        x0, y0, x1, y1 = placement.device_box(name)
+        cx = ((x0 + x1) / 2.0 - grid.origin[0]) / grid.pitch
+        cy = ((y0 + y1) / 2.0 - grid.origin[1]) / grid.pitch
+        mod_pos_rows.append((cx, cy, 0.0))
+        mod_feat_rows.append(
+            module_features(circuit.device(name), (cx, cy), extent)
+        )
+
+    # -- E_PP: same-net cliques ---------------------------------------------------------
+    pp_pairs: set[tuple[int, int]] = set()
+    net_to_aps: dict[str, list[int]] = {}
+    for i, net_name in enumerate(ap_nets):
+        net_to_aps.setdefault(net_name, []).append(i)
+    for indices in net_to_aps.values():
+        for a_i, i in enumerate(indices):
+            for j in indices[a_i + 1:]:
+                pp_pairs.add((i, j))
+
+    # -- E_PP: cross-net proximity (resource competition) ----------------------------------
+    positions = np.array(ap_pos_rows)
+    for i in range(num_aps):
+        deltas = np.abs(positions[:, :2] - positions[i, :2])
+        cheb = deltas.max(axis=1)
+        candidates = [
+            (cheb[j], j)
+            for j in range(num_aps)
+            if j != i and ap_nets[j] != ap_nets[i] and cheb[j] <= proximity_radius
+        ]
+        candidates.sort()
+        for _, j in candidates[:max_neighbours]:
+            pp_pairs.add((min(i, j), max(i, j)))
+
+    # -- E_MM: modules sharing a net ----------------------------------------------------------
+    mm_pairs: set[tuple[int, int]] = set()
+    for net in circuit.nets.values():
+        devices = [module_index[d] for d in net.devices() if d in module_index]
+        for a_i, i in enumerate(devices):
+            for j in devices[a_i + 1:]:
+                if i != j:
+                    mm_pairs.add((min(i, j) + num_aps, max(i, j) + num_aps))
+
+    # -- E_MP: access point to owning module ------------------------------------------------------
+    mp_pairs: set[tuple[int, int]] = set()
+    for i, (device, _pin) in enumerate(ap_keys):
+        if device in module_index:
+            mp_pairs.add((i, module_index[device] + num_aps))
+
+    def to_array(pairs: set[tuple[int, int]]) -> np.ndarray:
+        if not pairs:
+            return np.zeros((0, 2), dtype=np.int64)
+        return np.array(sorted(pairs), dtype=np.int64)
+
+    return HeteroGraph(
+        ap_keys=ap_keys,
+        ap_nets=ap_nets,
+        module_names=module_names,
+        ap_positions=positions if num_aps else np.zeros((0, 3)),
+        module_positions=np.array(mod_pos_rows) if module_names else np.zeros((0, 3)),
+        ap_features=np.vstack(ap_feat_rows) if ap_feat_rows else np.zeros((0, 1)),
+        module_features=(
+            np.vstack(mod_feat_rows) if mod_feat_rows else np.zeros((0, 1))
+        ),
+        edges={
+            EdgeType.PP: to_array(pp_pairs),
+            EdgeType.MM: to_array(mm_pairs),
+            EdgeType.MP: to_array(mp_pairs),
+        },
+    )

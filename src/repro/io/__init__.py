@@ -1,0 +1,19 @@
+"""Persistence: SPICE-style netlists, placements, guidance, and layouts."""
+
+from repro.io.guidance_io import load_guidance, save_guidance
+from repro.io.layout_io import (
+    load_placement,
+    routing_to_def_text,
+    save_placement,
+)
+from repro.io.spice import circuit_to_spice, spice_to_circuit
+
+__all__ = [
+    "save_guidance",
+    "load_guidance",
+    "save_placement",
+    "load_placement",
+    "routing_to_def_text",
+    "circuit_to_spice",
+    "spice_to_circuit",
+]

@@ -1,0 +1,34 @@
+"""JSON persistence for routing guidance."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.router.guidance import RoutingGuidance
+
+
+def save_guidance(guidance: RoutingGuidance, path: str | Path) -> None:
+    """Write guidance vectors to a JSON file."""
+    payload = {
+        "c_max": guidance.c_max,
+        "vectors": {
+            f"{device}.{pin}": [float(v) for v in vec]
+            for (device, pin), vec in sorted(guidance.vectors.items())
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_guidance(path: str | Path) -> RoutingGuidance:
+    """Read guidance saved by :func:`save_guidance`."""
+    payload = json.loads(Path(path).read_text())
+    vectors = {}
+    for key, values in payload["vectors"].items():
+        device, _, pin = key.rpartition(".")
+        if not device:
+            raise ValueError(f"malformed guidance key {key!r}")
+        vectors[(device, pin)] = np.asarray(values, dtype=float)
+    return RoutingGuidance(vectors=vectors, c_max=float(payload["c_max"]))

@@ -1,0 +1,84 @@
+"""Placement persistence and DEF-like routing export."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.netlist.circuit import Circuit
+from repro.placement.layout import Orientation, PlacedDevice, Placement
+from repro.router.grid import RoutingGrid
+from repro.router.result import RoutingResult
+
+
+def save_placement(placement: Placement, path: str | Path) -> None:
+    """Write a placement (positions, orientation, axis) to JSON."""
+    payload = {
+        "circuit": placement.circuit.name,
+        "variant": placement.variant,
+        "symmetry_axis": placement.symmetry_axis,
+        "positions": {
+            name: {"x": p.x, "y": p.y, "orientation": p.orientation.value}
+            for name, p in sorted(placement.positions.items())
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_placement(circuit: Circuit, path: str | Path) -> Placement:
+    """Read a placement saved by :func:`save_placement`.
+
+    The circuit must be the same design the placement was saved for.
+    """
+    payload = json.loads(Path(path).read_text())
+    if payload["circuit"] != circuit.name:
+        raise ValueError(
+            f"placement was saved for {payload['circuit']!r}, "
+            f"not {circuit.name!r}"
+        )
+    placement = Placement(
+        circuit=circuit,
+        symmetry_axis=float(payload["symmetry_axis"]),
+        variant=payload.get("variant", "A"),
+    )
+    for name, entry in payload["positions"].items():
+        if name not in circuit.devices:
+            raise ValueError(f"placement references unknown device {name!r}")
+        placement.positions[name] = PlacedDevice(
+            name=name, x=float(entry["x"]), y=float(entry["y"]),
+            orientation=Orientation(entry["orientation"]),
+        )
+    missing = set(circuit.devices) - set(placement.positions)
+    if missing:
+        raise ValueError(f"placement misses devices: {sorted(missing)}")
+    return placement
+
+
+def routing_to_def_text(result: RoutingResult, grid: RoutingGrid) -> str:
+    """Export a routing solution as DEF-flavoured text.
+
+    One ``NET`` block per net; each path is a sequence of (x um, y um,
+    layer) points on the routing grid.  Intended for inspection and for
+    downstream tools that consume simple geometric dumps.
+    """
+    pitch = grid.pitch
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {grid.placement.circuit.name} ;",
+        f"UNITS DISTANCE MICRONS 1000 ;",
+        f"# grid {grid.nx} x {grid.ny} x {grid.num_layers}, pitch {pitch} um",
+        f"NETS {len(result.routes)} ;",
+    ]
+    for name in sorted(result.routes):
+        route = result.routes[name]
+        lines.append(f"- {name}")
+        for path in route.paths:
+            points = " ".join(
+                f"( {grid.to_um(c)[0]:.3f} {grid.to_um(c)[1]:.3f} M{c[2] + 1} )"
+                for c in path
+            )
+            lines.append(f"  + ROUTED {points}")
+        lines.append("  ;")
+    lines.append("END NETS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"

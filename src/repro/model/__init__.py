@@ -1,0 +1,17 @@
+"""The protein-inspired 3DGNN performance model (Section 4.2)."""
+
+from repro.model.gnn3d import Gnn3d, Gnn3dConfig
+from repro.model.heads import ReadoutHead
+from repro.model.evaluation import SurrogateQuality, evaluate_surrogate
+from repro.model.training import TrainConfig, Trainer, TrainSample
+
+__all__ = [
+    "Gnn3d",
+    "Gnn3dConfig",
+    "ReadoutHead",
+    "Trainer",
+    "TrainConfig",
+    "TrainSample",
+    "SurrogateQuality",
+    "evaluate_surrogate",
+]

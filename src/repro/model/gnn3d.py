@@ -1,0 +1,178 @@
+"""The 3DGNN: cost-aware distance, RBF expansion, heterogeneous message
+passing (Eq. 1-5), and the metric head (Eq. 6).
+
+The guidance tensor ``C`` enters the forward pass through the cost-aware
+distance of Eq. 1, so marking it ``requires_grad`` yields ``dV/dC`` for
+potential relaxation with no extra machinery.
+
+Config flags expose the paper's design choices for ablation benches:
+``use_rbf`` (Eq. 2-3 vs raw distances), ``use_cost_distance`` (Eq. 1 vs
+plain Euclidean), and ``heterogeneous`` (typed edge MLPs vs shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.hetero import EdgeType, HeteroGraph
+from repro.model.heads import NUM_METRICS, ReadoutHead
+from repro.nn import MLP, Module, RBFExpansion, Tensor, concat, segment_sum
+
+
+@dataclass(frozen=True)
+class Gnn3dConfig:
+    """3DGNN hyperparameters.
+
+    Attributes:
+        hidden: node/message embedding width.
+        num_layers: message-passing rounds ``L``.
+        rbf_centers: radial basis bank size.
+        rbf_cutoff: largest distance (grid cells) covered by the bank.
+        use_rbf: expand distances with RBF (Eq. 2-3); raw distance if False.
+        use_cost_distance: modulate distances with guidance (Eq. 1); plain
+            Euclidean if False (ablation: kills dV/dC).
+        heterogeneous: per-edge-type message MLPs; shared MLP if False.
+        seed: parameter-init seed.
+    """
+
+    hidden: int = 32
+    num_layers: int = 3
+    rbf_centers: int = 16
+    rbf_cutoff: float = 40.0
+    use_rbf: bool = True
+    use_cost_distance: bool = True
+    heterogeneous: bool = True
+    seed: int = 0
+
+
+class _MessageBlock(Module):
+    """Eq. 5 for one edge type: MLP(MLP(v_src) * MLP(Psi(d)))."""
+
+    def __init__(self, hidden: int, dist_dim: int, rng: np.random.Generator) -> None:
+        self.src_mlp = MLP([hidden, hidden], rng)
+        self.dist_mlp = MLP([dist_dim, hidden], rng)
+        self.out_mlp = MLP([hidden, hidden], rng)
+
+    def forward(self, h: Tensor, src: np.ndarray, dist_feat: Tensor) -> Tensor:
+        gathered = h.gather_rows(src)
+        return self.out_mlp(self.src_mlp(gathered) * self.dist_mlp(dist_feat))
+
+
+class _PassingLayer(Module):
+    """One round of cost-aware message passing over all edge types."""
+
+    def __init__(self, hidden: int, dist_dim: int, rng: np.random.Generator,
+                 heterogeneous: bool) -> None:
+        if heterogeneous:
+            self.blocks = {
+                et: _MessageBlock(hidden, dist_dim, rng) for et in EdgeType
+            }
+        else:
+            shared = _MessageBlock(hidden, dist_dim, rng)
+            self.blocks = {et: shared for et in EdgeType}
+        # Register for parameter discovery (dicts are not walked).
+        self._block_list = list(dict.fromkeys(self.blocks.values()))
+
+    def forward(
+        self,
+        h: Tensor,
+        edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]],
+        dist_feats: dict[EdgeType, Tensor],
+        num_nodes: int,
+    ) -> Tensor:
+        aggregated = None
+        for edge_type, (src, dst) in edge_cache.items():
+            if len(src) == 0:
+                continue
+            messages = self.blocks[edge_type](h, src, dist_feats[edge_type])
+            summed = segment_sum(messages, dst, num_nodes)
+            aggregated = summed if aggregated is None else aggregated + summed
+        if aggregated is None:
+            return h
+        return h + aggregated
+
+
+class Gnn3d(Module):
+    """The full 3DGNN performance model ``f_theta(G_H, C)``."""
+
+    def __init__(self, ap_dim: int, module_dim: int,
+                 config: Gnn3dConfig | None = None) -> None:
+        self.config = config or Gnn3dConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.ap_embed = MLP([ap_dim, cfg.hidden], rng)
+        self.module_embed = MLP([module_dim, cfg.hidden], rng)
+        self.rbf = RBFExpansion(cfg.rbf_centers, cfg.rbf_cutoff)
+        dist_dim = cfg.rbf_centers if cfg.use_rbf else 1
+        self.layers = [
+            _PassingLayer(cfg.hidden, dist_dim, rng, cfg.heterogeneous)
+            for _ in range(cfg.num_layers)
+        ]
+        self.head = ReadoutHead(cfg.hidden, rng, NUM_METRICS)
+
+    # -- distance machinery ------------------------------------------------------
+
+    def _edge_distances(
+        self, graph: HeteroGraph, guidance: Tensor,
+        edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]],
+    ) -> dict[EdgeType, Tensor]:
+        """Cost-aware distance features per edge type (Eq. 1-3).
+
+        ``C_k`` of the *receiving* node modulates the (h, w, z) decomposition
+        of the edge vector; module receivers use neutral guidance.
+        """
+        positions = graph.positions
+        num_aps = graph.num_aps
+        num_modules = graph.num_modules
+        neutral = Tensor(np.ones((num_modules, 3)))
+        guidance_all = concat([guidance, neutral], axis=0) if num_modules else guidance
+
+        feats: dict[EdgeType, Tensor] = {}
+        for edge_type, (src, dst) in edge_cache.items():
+            if len(src) == 0:
+                feats[edge_type] = Tensor(np.zeros((0, 1)))
+                continue
+            deltas = np.abs(positions[dst] - positions[src])  # (E, 3): h, w, z
+            if self.config.use_cost_distance:
+                c_recv = guidance_all.gather_rows(dst)
+                weighted = c_recv * Tensor(deltas)
+            else:
+                weighted = Tensor(deltas)
+            dist = ((weighted * weighted).sum(axis=1) + 1e-6).sqrt()
+            if self.config.use_rbf:
+                feats[edge_type] = self.rbf(dist)
+            else:
+                feats[edge_type] = dist.reshape(-1, 1)
+        return feats
+
+    # -- forward -----------------------------------------------------------------------
+
+    def forward(self, graph: HeteroGraph, guidance: Tensor) -> Tensor:
+        """Predict normalized metrics for guidance ``C`` on graph ``G_H``.
+
+        Args:
+            graph: the heterogeneous routing graph.
+            guidance: (num_aps, 3) tensor of per-AP guidance vectors, in the
+                order of ``graph.ap_keys``.  Mark ``requires_grad`` to get
+                ``dV/dC`` after ``backward()``.
+
+        Returns:
+            Length-5 tensor of normalized metric predictions (see
+            :meth:`repro.simulation.metrics.PerformanceMetrics.to_normalized`).
+        """
+        if guidance.shape != (graph.num_aps, 3):
+            raise ValueError(
+                f"guidance shape {guidance.shape} != ({graph.num_aps}, 3)"
+            )
+        edge_cache = {et: graph.directed_edges(et) for et in EdgeType}
+        dist_feats = self._edge_distances(graph, guidance, edge_cache)
+
+        h_ap = self.ap_embed(Tensor(graph.ap_features))
+        h_mod = self.module_embed(Tensor(graph.module_features))
+        h = concat([h_ap, h_mod], axis=0) if graph.num_modules else h_ap
+
+        for layer in self.layers:
+            h = layer(h, edge_cache, dist_feats, graph.num_nodes)
+        return self.head(h)

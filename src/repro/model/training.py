@@ -1,0 +1,131 @@
+"""Training loop for the 3DGNN performance model (L2 loss, Adam)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+from repro.model.gnn3d import Gnn3d
+from repro.nn import Adam, Tensor
+
+
+@dataclass(frozen=True)
+class TrainSample:
+    """One supervised sample: guidance in, normalized metrics out.
+
+    Attributes:
+        guidance: (num_aps, 3) array in graph AP order.
+        targets: length-5 normalized metric vector.
+    """
+
+    guidance: np.ndarray
+    targets: np.ndarray
+
+
+@dataclass
+class TrainConfig:
+    """Training knobs.
+
+    Attributes:
+        epochs: passes over the training split.
+        lr: Adam learning rate.
+        batch_size: samples per gradient step.
+        val_fraction: tail fraction held out for validation.
+        patience: early-stop after this many epochs without val improvement
+            (0 disables early stopping).
+        seed: shuffling seed.
+    """
+
+    epochs: int = 40
+    lr: float = 3e-3
+    batch_size: int = 8
+    val_fraction: float = 0.15
+    patience: int = 10
+    seed: int = 0
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch loss trajectory."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+
+    @property
+    def best_val(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+
+class Trainer:
+    """Trains a :class:`Gnn3d` on (guidance, metrics) samples of one design."""
+
+    def __init__(
+        self,
+        model: Gnn3d,
+        graph: HeteroGraph,
+        config: TrainConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.history = TrainHistory()
+
+    def _sample_loss(self, sample: TrainSample) -> Tensor:
+        pred = self.model(self.graph, Tensor(sample.guidance))
+        err = pred - Tensor(sample.targets)
+        return (err * err).mean()
+
+    def evaluate(self, samples: list[TrainSample]) -> float:
+        """Mean L2 loss over samples (no gradient)."""
+        if not samples:
+            return float("nan")
+        total = 0.0
+        for sample in samples:
+            total += self._sample_loss(sample).item()
+        return total / len(samples)
+
+    def fit(self, samples: list[TrainSample]) -> TrainHistory:
+        """Train until the epoch budget or early stopping."""
+        if len(samples) < 2:
+            raise ValueError(f"need at least 2 samples, got {len(samples)}")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        n_val = max(1, int(len(samples) * cfg.val_fraction)) if cfg.val_fraction else 0
+        train = samples[: len(samples) - n_val]
+        val = samples[len(samples) - n_val:]
+        if not train:
+            train, val = samples, []
+
+        best_val = float("inf")
+        stale = 0
+        order = np.arange(len(train))
+        for _ in range(cfg.epochs):
+            rng.shuffle(order)
+            epoch_loss = 0.0
+            for start in range(0, len(order), cfg.batch_size):
+                batch = order[start: start + cfg.batch_size]
+                self.optimizer.zero_grad()
+                batch_loss = 0.0
+                for idx in batch:
+                    loss = self._sample_loss(train[idx])
+                    loss.backward(np.asarray(1.0 / len(batch)))
+                    batch_loss += loss.item()
+                self.optimizer.step()
+                epoch_loss += batch_loss
+            self.history.train_loss.append(epoch_loss / len(train))
+
+            if val:
+                val_loss = self.evaluate(val)
+                self.history.val_loss.append(val_loss)
+                if val_loss < best_val - 1e-6:
+                    best_val = val_loss
+                    stale = 0
+                elif cfg.patience:
+                    stale += 1
+                    if stale >= cfg.patience:
+                        break
+        return self.history

@@ -1,0 +1,40 @@
+"""Circuit netlist representation and the paper's OTA benchmarks."""
+
+from repro.netlist.circuit import Circuit, CircuitStats
+from repro.netlist.devices import (
+    Capacitor,
+    Device,
+    DeviceType,
+    Dummy,
+    MOSFET,
+    MOSType,
+    Pin,
+    Resistor,
+)
+from repro.netlist.nets import Net, NetType, SymmetryPair
+from repro.netlist.extensions import EXTENSION_BENCHMARKS, build_folded_cascode
+from repro.netlist.otas import BENCHMARKS, build_benchmark, build_ota1, build_ota2, build_ota3, build_ota4
+
+__all__ = [
+    "Circuit",
+    "CircuitStats",
+    "Device",
+    "DeviceType",
+    "Dummy",
+    "MOSFET",
+    "MOSType",
+    "Pin",
+    "Capacitor",
+    "Resistor",
+    "Net",
+    "NetType",
+    "SymmetryPair",
+    "BENCHMARKS",
+    "EXTENSION_BENCHMARKS",
+    "build_folded_cascode",
+    "build_benchmark",
+    "build_ota1",
+    "build_ota2",
+    "build_ota3",
+    "build_ota4",
+]

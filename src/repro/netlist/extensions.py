@@ -1,0 +1,127 @@
+"""Extension benchmark circuits beyond the paper's Table 1.
+
+The paper restricts evaluation to the four OTAs; these extras exercise the
+library on additional topologies (the folded cascode is the other OTA
+workhorse in practice) and back the extension benches.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Capacitor, MOSFET, MOSType, Resistor
+from repro.netlist.nets import NetType, SymmetryPair
+
+
+def build_folded_cascode() -> Circuit:
+    """Fully differential folded-cascode OTA (extension benchmark "OTA_FC").
+
+    NMOS input pair folded into PMOS cascode branches, NMOS cascode loads,
+    resistive-sense CMFB, load caps.
+    """
+    c = Circuit(name="OTA_FC", topology="telescopic")
+
+    # Input pair and tail.
+    c.add_device(MOSFET(name="MN_IN_L", mos_type=MOSType.NMOS, w=12.0, l=0.06,
+                        fingers=4, bias_current=60e-6))
+    c.add_device(MOSFET(name="MN_IN_R", mos_type=MOSType.NMOS, w=12.0, l=0.06,
+                        fingers=4, bias_current=60e-6))
+    c.add_device(MOSFET(name="MN_TAIL", mos_type=MOSType.NMOS, w=8.0, l=0.06,
+                        fingers=2, bias_current=120e-6, is_bias_device=True))
+
+    # Folding PMOS current sources and cascodes.
+    c.add_device(MOSFET(name="MP_SRC_L", mos_type=MOSType.PMOS, w=10.0, l=0.06,
+                        fingers=2, bias_current=90e-6, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_SRC_R", mos_type=MOSType.PMOS, w=10.0, l=0.06,
+                        fingers=2, bias_current=90e-6, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_CAS_L", mos_type=MOSType.PMOS, w=8.0, l=0.06,
+                        fingers=2, bias_current=30e-6))
+    c.add_device(MOSFET(name="MP_CAS_R", mos_type=MOSType.PMOS, w=8.0, l=0.06,
+                        fingers=2, bias_current=30e-6))
+
+    # NMOS cascode loads.
+    c.add_device(MOSFET(name="MN_CAS_L", mos_type=MOSType.NMOS, w=6.0, l=0.06,
+                        fingers=2, bias_current=30e-6))
+    c.add_device(MOSFET(name="MN_CAS_R", mos_type=MOSType.NMOS, w=6.0, l=0.06,
+                        fingers=2, bias_current=30e-6))
+    c.add_device(MOSFET(name="MN_LOAD_L", mos_type=MOSType.NMOS, w=6.0, l=0.06,
+                        fingers=2, bias_current=30e-6, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_LOAD_R", mos_type=MOSType.NMOS, w=6.0, l=0.06,
+                        fingers=2, bias_current=30e-6, is_bias_device=True))
+
+    # Bias diodes.
+    c.add_device(MOSFET(name="MN_B1", mos_type=MOSType.NMOS, w=4.0, l=0.06,
+                        bias_current=30e-6, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_B1", mos_type=MOSType.PMOS, w=5.0, l=0.06,
+                        bias_current=30e-6, is_bias_device=True))
+
+    # Passives: load caps and CMFB sense.
+    c.add_device(Capacitor(name="CL_L", value=0.4e-12))
+    c.add_device(Capacitor(name="CL_R", value=0.4e-12))
+    c.add_device(Resistor(name="RCM_L", value=150e3))
+    c.add_device(Resistor(name="RCM_R", value=150e3))
+
+    # Nets -----------------------------------------------------------------
+    vdd = c.new_net("VDD", NetType.POWER)
+    for dev in ("MP_SRC_L", "MP_SRC_R", "MP_B1"):
+        vdd.connect(dev, "S")
+    vss = c.new_net("VSS", NetType.GROUND)
+    for dev in ("MN_TAIL", "MN_LOAD_L", "MN_LOAD_R", "MN_B1"):
+        vss.connect(dev, "S")
+    vss.connect("CL_L", "MINUS").connect("CL_R", "MINUS")
+
+    c.new_net("VINP", NetType.INPUT, weight=2.0).connect("MN_IN_L", "G")
+    c.new_net("VINN", NetType.INPUT, weight=2.0).connect("MN_IN_R", "G")
+
+    # Folding nodes: input drains meet PMOS source branches.
+    fold_l = c.new_net("FOLD_L", NetType.SIGNAL, weight=2.0)
+    fold_l.connect("MN_IN_L", "D").connect("MP_SRC_L", "D").connect("MP_CAS_L", "S")
+    fold_r = c.new_net("FOLD_R", NetType.SIGNAL, weight=2.0)
+    fold_r.connect("MN_IN_R", "D").connect("MP_SRC_R", "D").connect("MP_CAS_R", "S")
+
+    voutp = c.new_net("VOUTP", NetType.OUTPUT, weight=2.0)
+    voutp.connect("MP_CAS_L", "D").connect("MN_CAS_L", "D")
+    voutp.connect("CL_L", "PLUS").connect("RCM_L", "PLUS")
+    voutn = c.new_net("VOUTN", NetType.OUTPUT, weight=2.0)
+    voutn.connect("MP_CAS_R", "D").connect("MN_CAS_R", "D")
+    voutn.connect("CL_R", "PLUS").connect("RCM_R", "PLUS")
+
+    nlo_l = c.new_net("NLO_L", NetType.SIGNAL)
+    nlo_l.connect("MN_CAS_L", "S").connect("MN_LOAD_L", "D")
+    nlo_r = c.new_net("NLO_R", NetType.SIGNAL)
+    nlo_r.connect("MN_CAS_R", "S").connect("MN_LOAD_R", "D")
+
+    tail = c.new_net("TAIL", NetType.SIGNAL, self_symmetric=True)
+    tail.connect("MN_IN_L", "S").connect("MN_IN_R", "S").connect("MN_TAIL", "D")
+
+    vbn_cas = c.new_net("VBN_CAS", NetType.BIAS)
+    vbn_cas.connect("MN_CAS_L", "G").connect("MN_CAS_R", "G")
+    vbn_cas.connect("MN_B1", "D").connect("MN_B1", "G")
+    vbp = c.new_net("VBP", NetType.BIAS)
+    vbp.connect("MP_SRC_L", "G").connect("MP_SRC_R", "G")
+    vbp.connect("MP_B1", "G").connect("MP_B1", "D")
+    vbp_cas = c.new_net("VBP_CAS", NetType.BIAS)
+    vbp_cas.connect("MP_CAS_L", "G").connect("MP_CAS_R", "G")
+    vbp_cas.connect("RCM_L", "MINUS").connect("RCM_R", "MINUS")
+    vbn_tail = c.new_net("VBN_TAIL", NetType.BIAS)
+    vbn_tail.connect("MN_TAIL", "G").connect("MN_LOAD_L", "G")
+    vbn_tail.connect("MN_LOAD_R", "G")
+
+    # Symmetry constraints ---------------------------------------------------
+    c.add_symmetry_pair(SymmetryPair(
+        "FOLD_L", "FOLD_R",
+        device_pairs=(("MN_IN_L", "MN_IN_R"), ("MP_SRC_L", "MP_SRC_R")),
+    ))
+    c.add_symmetry_pair(SymmetryPair(
+        "VOUTP", "VOUTN",
+        device_pairs=(("MP_CAS_L", "MP_CAS_R"), ("MN_CAS_L", "MN_CAS_R"),
+                      ("CL_L", "CL_R"), ("RCM_L", "RCM_R")),
+    ))
+    c.add_symmetry_pair(SymmetryPair(
+        "NLO_L", "NLO_R", device_pairs=(("MN_LOAD_L", "MN_LOAD_R"),)))
+    c.add_symmetry_pair(SymmetryPair("VINP", "VINN"))
+
+    c.validate()
+    return c
+
+
+EXTENSION_BENCHMARKS = {"OTA_FC": build_folded_cascode}

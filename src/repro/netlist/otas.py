@@ -1,0 +1,347 @@
+"""The paper's benchmark circuits (Table 1).
+
+Two fully-differential two-stage Miller-compensated OTAs (OTA1, OTA2 — same
+topology, different sizing) and two fully-differential telescopic-cascode
+OTAs (OTA3, OTA4 — same topology, different sizing).  Device counts match
+Table 1 exactly:
+
+=========  ======  ======  =====  =====  ======
+Benchmark  #PMOS   #NMOS   #Cap   #Res   #Total
+=========  ======  ======  =====  =====  ======
+OTA1/OTA2  6       8       2      0      25
+OTA3/OTA4  16      10      6      4      36
+=========  ======  ======  =====  =====  ======
+
+OTA1/OTA2 carry 9 dummy/guard devices to reach the Table 1 totals; dummies
+occupy placement area but have no electrical role.  MOSFET bulk pins are
+treated as substrate/well taps (not routed as signal nets), as is standard
+in analog flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Capacitor, Dummy, MOSFET, MOSType, Resistor
+from repro.netlist.nets import NetType, SymmetryPair
+
+
+@dataclass(frozen=True)
+class MillerSizing:
+    """Sizing knobs distinguishing OTA1 from OTA2."""
+
+    w_in: float = 8.0
+    w_load: float = 4.0
+    w_tail: float = 6.0
+    w_out_p: float = 12.0
+    w_out_n: float = 6.0
+    l: float = 0.08
+    i_branch: float = 20e-6
+    i_out: float = 80e-6
+    c_miller: float = 1.0e-12
+
+
+@dataclass(frozen=True)
+class TelescopicSizing:
+    """Sizing knobs distinguishing OTA3 from OTA4."""
+
+    w_in: float = 16.0
+    w_cas_n: float = 8.0
+    w_cas_p: float = 10.0
+    w_src: float = 12.0
+    w_tail: float = 10.0
+    l: float = 0.06
+    i_branch: float = 100e-6
+    c_load: float = 0.5e-12
+    r_cmfb: float = 200e3
+
+
+def _miller_ota(name: str, s: MillerSizing) -> Circuit:
+    """Fully differential two-stage Miller OTA."""
+    c = Circuit(name=name, topology="miller")
+
+    # First stage: NMOS diff pair, PMOS loads, NMOS tail.
+    c.add_device(MOSFET(name="MN_IN_L", mos_type=MOSType.NMOS, w=s.w_in, l=s.l,
+                        fingers=4, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MN_IN_R", mos_type=MOSType.NMOS, w=s.w_in, l=s.l,
+                        fingers=4, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MP_LOAD_L", mos_type=MOSType.PMOS, w=s.w_load, l=s.l,
+                        fingers=2, bias_current=s.i_branch, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_LOAD_R", mos_type=MOSType.PMOS, w=s.w_load, l=s.l,
+                        fingers=2, bias_current=s.i_branch, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_TAIL", mos_type=MOSType.NMOS, w=s.w_tail, l=s.l,
+                        fingers=2, bias_current=2 * s.i_branch, is_bias_device=True))
+
+    # Second stage: PMOS drivers, NMOS sinks, Miller caps.
+    c.add_device(MOSFET(name="MP_OUT_L", mos_type=MOSType.PMOS, w=s.w_out_p, l=s.l,
+                        fingers=4, bias_current=s.i_out))
+    c.add_device(MOSFET(name="MP_OUT_R", mos_type=MOSType.PMOS, w=s.w_out_p, l=s.l,
+                        fingers=4, bias_current=s.i_out))
+    c.add_device(MOSFET(name="MN_OUT_L", mos_type=MOSType.NMOS, w=s.w_out_n, l=s.l,
+                        fingers=2, bias_current=s.i_out, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_OUT_R", mos_type=MOSType.NMOS, w=s.w_out_n, l=s.l,
+                        fingers=2, bias_current=s.i_out, is_bias_device=True))
+    c.add_device(Capacitor(name="CC_L", value=s.c_miller))
+    c.add_device(Capacitor(name="CC_R", value=s.c_miller))
+
+    # Bias network and common-mode feedback.
+    c.add_device(MOSFET(name="MN_BIAS", mos_type=MOSType.NMOS, w=s.w_tail / 2, l=s.l,
+                        bias_current=s.i_branch, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_BIASP", mos_type=MOSType.PMOS, w=s.w_load / 2, l=s.l,
+                        bias_current=s.i_branch, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_CMFB_L", mos_type=MOSType.NMOS, w=s.w_out_n / 2, l=s.l,
+                        bias_current=s.i_branch / 2, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_CMFB_R", mos_type=MOSType.NMOS, w=s.w_out_n / 2, l=s.l,
+                        bias_current=s.i_branch / 2, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_CMFB", mos_type=MOSType.PMOS, w=s.w_load / 2, l=s.l,
+                        bias_current=s.i_branch, is_bias_device=True))
+
+    # Dummies/guards bring the total to 25 as in Table 1.
+    for i in range(9):
+        c.add_device(Dummy(name=f"DUM{i}", width=0.8, height=0.8))
+
+    # Nets -------------------------------------------------------------------
+    vdd = c.new_net("VDD", NetType.POWER)
+    for dev in ("MP_LOAD_L", "MP_LOAD_R", "MP_OUT_L", "MP_OUT_R", "MP_BIASP",
+                "MP_CMFB"):
+        vdd.connect(dev, "S")
+    vss = c.new_net("VSS", NetType.GROUND)
+    for dev in ("MN_TAIL", "MN_OUT_L", "MN_OUT_R", "MN_BIAS", "MN_CMFB_L",
+                "MN_CMFB_R"):
+        vss.connect(dev, "S")
+
+    c.new_net("VINP", NetType.INPUT, weight=2.0).connect("MN_IN_L", "G")
+    c.new_net("VINN", NetType.INPUT, weight=2.0).connect("MN_IN_R", "G")
+
+    n1l = c.new_net("NET1L", NetType.SIGNAL, weight=2.0)
+    n1l.connect("MN_IN_L", "D").connect("MP_LOAD_L", "D")
+    n1l.connect("MP_OUT_L", "G").connect("CC_L", "PLUS")
+    n1r = c.new_net("NET1R", NetType.SIGNAL, weight=2.0)
+    n1r.connect("MN_IN_R", "D").connect("MP_LOAD_R", "D")
+    n1r.connect("MP_OUT_R", "G").connect("CC_R", "PLUS")
+
+    voutp = c.new_net("VOUTP", NetType.OUTPUT, weight=2.0)
+    voutp.connect("MP_OUT_L", "D").connect("MN_OUT_L", "D")
+    voutp.connect("CC_L", "MINUS").connect("MN_CMFB_L", "G")
+    voutn = c.new_net("VOUTN", NetType.OUTPUT, weight=2.0)
+    voutn.connect("MP_OUT_R", "D").connect("MN_OUT_R", "D")
+    voutn.connect("CC_R", "MINUS").connect("MN_CMFB_R", "G")
+
+    tail = c.new_net("TAIL", NetType.SIGNAL, self_symmetric=True)
+    tail.connect("MN_IN_L", "S").connect("MN_IN_R", "S").connect("MN_TAIL", "D")
+
+    vbn = c.new_net("VBN", NetType.BIAS)
+    vbn.connect("MN_TAIL", "G").connect("MN_BIAS", "G").connect("MN_BIAS", "D")
+    vbp = c.new_net("VBP", NetType.BIAS)
+    vbp.connect("MP_LOAD_L", "G").connect("MP_LOAD_R", "G")
+    vbp.connect("MP_BIASP", "G").connect("MP_BIASP", "D").connect("MP_CMFB", "G")
+
+    vcmfb = c.new_net("VCMFB", NetType.BIAS)
+    vcmfb.connect("MP_CMFB", "D").connect("MN_CMFB_L", "D")
+    vcmfb.connect("MN_CMFB_R", "D").connect("MN_OUT_L", "G").connect("MN_OUT_R", "G")
+
+    # Symmetry constraints -----------------------------------------------------
+    c.add_symmetry_pair(SymmetryPair(
+        "NET1L", "NET1R",
+        device_pairs=(("MN_IN_L", "MN_IN_R"), ("MP_LOAD_L", "MP_LOAD_R")),
+    ))
+    c.add_symmetry_pair(SymmetryPair(
+        "VOUTP", "VOUTN",
+        device_pairs=(("MP_OUT_L", "MP_OUT_R"), ("MN_OUT_L", "MN_OUT_R"),
+                      ("CC_L", "CC_R"), ("MN_CMFB_L", "MN_CMFB_R")),
+    ))
+    c.add_symmetry_pair(SymmetryPair("VINP", "VINN"))
+
+    c.validate()
+    return c
+
+
+def _telescopic_ota(name: str, s: TelescopicSizing) -> Circuit:
+    """Fully differential telescopic-cascode OTA with bias network and CMFB."""
+    c = Circuit(name=name, topology="telescopic")
+
+    # Signal path: NMOS input pair, NMOS cascodes, PMOS cascodes, PMOS sources.
+    c.add_device(MOSFET(name="MN_IN_L", mos_type=MOSType.NMOS, w=s.w_in, l=s.l,
+                        fingers=4, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MN_IN_R", mos_type=MOSType.NMOS, w=s.w_in, l=s.l,
+                        fingers=4, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MN_CAS_L", mos_type=MOSType.NMOS, w=s.w_cas_n, l=s.l,
+                        fingers=2, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MN_CAS_R", mos_type=MOSType.NMOS, w=s.w_cas_n, l=s.l,
+                        fingers=2, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MP_CAS_L", mos_type=MOSType.PMOS, w=s.w_cas_p, l=s.l,
+                        fingers=2, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MP_CAS_R", mos_type=MOSType.PMOS, w=s.w_cas_p, l=s.l,
+                        fingers=2, bias_current=s.i_branch))
+    c.add_device(MOSFET(name="MP_SRC_L", mos_type=MOSType.PMOS, w=s.w_src, l=s.l,
+                        fingers=4, bias_current=s.i_branch, is_bias_device=True))
+    c.add_device(MOSFET(name="MP_SRC_R", mos_type=MOSType.PMOS, w=s.w_src, l=s.l,
+                        fingers=4, bias_current=s.i_branch, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_TAIL", mos_type=MOSType.NMOS, w=s.w_tail, l=s.l,
+                        fingers=2, bias_current=2 * s.i_branch, is_bias_device=True))
+
+    # Bias network: a PMOS chain generating the three bias voltages, plus
+    # NMOS mirrors.  All diode-connected / bias devices.
+    for i in range(1, 13):
+        c.add_device(MOSFET(name=f"MP_B{i}", mos_type=MOSType.PMOS, w=s.w_src / 2,
+                            l=s.l, bias_current=s.i_branch / 4, is_bias_device=True))
+    for i in range(1, 4):
+        c.add_device(MOSFET(name=f"MN_B{i}", mos_type=MOSType.NMOS, w=s.w_tail / 2,
+                            l=s.l, bias_current=s.i_branch / 4, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_CMFB_L", mos_type=MOSType.NMOS, w=s.w_tail / 2,
+                        l=s.l, bias_current=s.i_branch / 2, is_bias_device=True))
+    c.add_device(MOSFET(name="MN_CMFB_R", mos_type=MOSType.NMOS, w=s.w_tail / 2,
+                        l=s.l, bias_current=s.i_branch / 2, is_bias_device=True))
+
+    # Passives: load caps, CMFB caps, decoupling caps, CMFB/bias resistors.
+    c.add_device(Capacitor(name="CL_L", value=s.c_load))
+    c.add_device(Capacitor(name="CL_R", value=s.c_load))
+    c.add_device(Capacitor(name="CCM_L", value=s.c_load / 4))
+    c.add_device(Capacitor(name="CCM_R", value=s.c_load / 4))
+    c.add_device(Capacitor(name="CDEC1", value=s.c_load))
+    c.add_device(Capacitor(name="CDEC2", value=s.c_load))
+    c.add_device(Resistor(name="RCM_L", value=s.r_cmfb))
+    c.add_device(Resistor(name="RCM_R", value=s.r_cmfb))
+    c.add_device(Resistor(name="RB1", value=s.r_cmfb / 2))
+    c.add_device(Resistor(name="RB2", value=s.r_cmfb / 2))
+
+    # Nets -------------------------------------------------------------------
+    vdd = c.new_net("VDD", NetType.POWER)
+    for dev in ("MP_SRC_L", "MP_SRC_R", "MP_B1", "MP_B3", "MP_B7", "MP_B9",
+                "MP_B11", "MP_B12"):
+        vdd.connect(dev, "S")
+    vdd.connect("CDEC1", "PLUS").connect("CDEC2", "PLUS")
+    vss = c.new_net("VSS", NetType.GROUND)
+    for dev in ("MN_TAIL", "MN_B1", "MN_B2", "MN_B3", "MN_CMFB_L", "MN_CMFB_R"):
+        vss.connect(dev, "S")
+    vss.connect("RB2", "MINUS")
+
+    c.new_net("VINP", NetType.INPUT, weight=2.0).connect("MN_IN_L", "G")
+    c.new_net("VINN", NetType.INPUT, weight=2.0).connect("MN_IN_R", "G")
+
+    nlo_l = c.new_net("NLO_L", NetType.SIGNAL, weight=2.0)
+    nlo_l.connect("MN_IN_L", "D").connect("MN_CAS_L", "S")
+    nlo_r = c.new_net("NLO_R", NetType.SIGNAL, weight=2.0)
+    nlo_r.connect("MN_IN_R", "D").connect("MN_CAS_R", "S")
+
+    voutp = c.new_net("VOUTP", NetType.OUTPUT, weight=2.0)
+    voutp.connect("MN_CAS_L", "D").connect("MP_CAS_L", "D")
+    voutp.connect("CL_L", "PLUS").connect("RCM_L", "PLUS")
+    voutn = c.new_net("VOUTN", NetType.OUTPUT, weight=2.0)
+    voutn.connect("MN_CAS_R", "D").connect("MP_CAS_R", "D")
+    voutn.connect("CL_R", "PLUS").connect("RCM_R", "PLUS")
+
+    nhi_l = c.new_net("NHI_L", NetType.SIGNAL, weight=1.5)
+    nhi_l.connect("MP_CAS_L", "S").connect("MP_SRC_L", "D")
+    nhi_r = c.new_net("NHI_R", NetType.SIGNAL, weight=1.5)
+    nhi_r.connect("MP_CAS_R", "S").connect("MP_SRC_R", "D")
+
+    tail = c.new_net("TAIL", NetType.SIGNAL, self_symmetric=True)
+    tail.connect("MN_IN_L", "S").connect("MN_IN_R", "S").connect("MN_TAIL", "D")
+
+    # Bias voltages.
+    vbn_cas = c.new_net("VBN_CAS", NetType.BIAS)
+    vbn_cas.connect("MN_CAS_L", "G").connect("MN_CAS_R", "G")
+    vbn_cas.connect("MP_B2", "D").connect("MN_B2", "D").connect("MN_B2", "G")
+    vbp_cas = c.new_net("VBP_CAS", NetType.BIAS)
+    vbp_cas.connect("MP_CAS_L", "G").connect("MP_CAS_R", "G")
+    vbp_cas.connect("MP_B3", "G").connect("MP_B3", "D").connect("MP_B4", "S")
+    vbp_src = c.new_net("VBP_SRC", NetType.BIAS)
+    vbp_src.connect("MP_SRC_L", "G").connect("MP_SRC_R", "G")
+    vbp_src.connect("MP_B1", "G").connect("MP_B1", "D").connect("CDEC1", "MINUS")
+    vbp_src.connect("MP_B11", "G").connect("MP_B12", "G")
+    vbn_tail = c.new_net("VBN_TAIL", NetType.BIAS)
+    vbn_tail.connect("MN_TAIL", "G").connect("MN_B1", "G").connect("MN_B1", "D")
+    vbn_tail.connect("MP_B4", "D")
+
+    # CMFB: outputs sensed through RCM into VCM_SENSE, compared by the CMFB
+    # mirror, correction injected at VCMFB.
+    vcm_sense = c.new_net("VCM_SENSE", NetType.SIGNAL, self_symmetric=True)
+    vcm_sense.connect("RCM_L", "MINUS").connect("RCM_R", "MINUS")
+    vcm_sense.connect("CCM_L", "PLUS").connect("CCM_R", "PLUS")
+    vcm_sense.connect("MN_CMFB_L", "G")
+    vcmfb = c.new_net("VCMFB", NetType.BIAS)
+    vcmfb.connect("MN_CMFB_L", "D").connect("MN_CMFB_R", "D")
+    vcmfb.connect("MP_B5", "D").connect("MP_B5", "G").connect("CDEC2", "MINUS")
+    vref = c.new_net("VREF_CM", NetType.BIAS)
+    vref.connect("MN_CMFB_R", "G").connect("RB1", "PLUS").connect("RB2", "PLUS")
+    vref.connect("MP_B6", "D")
+
+    # Remaining bias-chain wiring (keeps every device pin attached).
+    b_mid = c.new_net("NBIAS_MID", NetType.BIAS)
+    b_mid.connect("MP_B2", "S").connect("MP_B6", "G").connect("MP_B6", "S")
+    b_mid.connect("MP_B7", "D").connect("RB1", "MINUS").connect("MP_B11", "D")
+    b_hi = c.new_net("NBIAS_HI", NetType.BIAS)
+    b_hi.connect("MP_B7", "G").connect("MP_B8", "D").connect("MP_B8", "G")
+    b_hi.connect("MP_B9", "D").connect("MP_B10", "S")
+    b_lo = c.new_net("NBIAS_LO", NetType.BIAS)
+    b_lo.connect("MP_B8", "S").connect("MP_B9", "G").connect("MP_B10", "G")
+    b_lo.connect("MP_B10", "D").connect("MN_B3", "D").connect("MN_B3", "G")
+    b_lo.connect("MP_B12", "D")
+    b_caps = c.new_net("NBIAS_CAP", NetType.BIAS)
+    b_caps.connect("MP_B2", "G").connect("MP_B4", "G").connect("MP_B5", "S")
+    b_caps.connect("CCM_L", "MINUS").connect("CCM_R", "MINUS")
+
+    # Symmetry constraints -----------------------------------------------------
+    c.add_symmetry_pair(SymmetryPair(
+        "NLO_L", "NLO_R", device_pairs=(("MN_IN_L", "MN_IN_R"),)))
+    c.add_symmetry_pair(SymmetryPair(
+        "VOUTP", "VOUTN",
+        device_pairs=(("MN_CAS_L", "MN_CAS_R"), ("MP_CAS_L", "MP_CAS_R"),
+                      ("CL_L", "CL_R"), ("RCM_L", "RCM_R")),
+    ))
+    c.add_symmetry_pair(SymmetryPair(
+        "NHI_L", "NHI_R", device_pairs=(("MP_SRC_L", "MP_SRC_R"),)))
+    c.add_symmetry_pair(SymmetryPair("VINP", "VINN"))
+
+    c.validate()
+    return c
+
+
+def build_ota1() -> Circuit:
+    """OTA1: 2-stage Miller OTA, nominal sizing."""
+    return _miller_ota("OTA1", MillerSizing())
+
+
+def build_ota2() -> Circuit:
+    """OTA2: same topology as OTA1, smaller devices / lower current."""
+    return _miller_ota(
+        "OTA2",
+        MillerSizing(w_in=4.0, w_load=2.5, w_tail=3.0, w_out_p=8.0, w_out_n=4.0,
+                     l=0.06, i_branch=10e-6, i_out=40e-6, c_miller=0.6e-12),
+    )
+
+
+def build_ota3() -> Circuit:
+    """OTA3: telescopic cascode OTA, nominal sizing."""
+    return _telescopic_ota("OTA3", TelescopicSizing())
+
+
+def build_ota4() -> Circuit:
+    """OTA4: same topology as OTA3, larger devices / higher current."""
+    return _telescopic_ota(
+        "OTA4",
+        TelescopicSizing(w_in=24.0, w_cas_n=12.0, w_cas_p=14.0, w_src=16.0,
+                         w_tail=14.0, l=0.05, i_branch=150e-6, c_load=0.4e-12,
+                         r_cmfb=150e3),
+    )
+
+
+BENCHMARKS: "dict[str, Callable[[], Circuit]]" = {
+    "OTA1": build_ota1,
+    "OTA2": build_ota2,
+    "OTA3": build_ota3,
+    "OTA4": build_ota4,
+}
+
+
+def build_benchmark(name: str) -> Circuit:
+    """Build a Table 1 benchmark circuit by name ("OTA1".."OTA4")."""
+    try:
+        return BENCHMARKS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        ) from None

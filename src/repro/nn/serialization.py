@@ -1,0 +1,42 @@
+"""Save/load module parameters as .npz archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.modules import Module
+
+
+def save_state(module: Module, path: str | Path) -> None:
+    """Write all named parameters of a module to a compressed .npz file."""
+    arrays = {name: param.data for name, param in module.named_parameters()}
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_state(module: Module, path: str | Path) -> None:
+    """Load parameters saved by :func:`save_state` into a module in place.
+
+    The module must have the same architecture (same parameter names and
+    shapes) as the one that was saved.
+    """
+    p = Path(path)
+    if not p.exists() and not str(p).endswith(".npz"):
+        p = Path(f"{p}.npz")  # np.savez_compressed appends .npz on save
+    archive = np.load(p)
+    named = dict(module.named_parameters())
+    missing = set(named) - set(archive.files)
+    extra = set(archive.files) - set(named)
+    if missing or extra:
+        raise ValueError(
+            f"parameter mismatch: missing {sorted(missing)}, extra {sorted(extra)}"
+        )
+    for name, param in named.items():
+        data = archive[name]
+        if data.shape != param.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: saved {data.shape}, "
+                f"module {param.data.shape}"
+            )
+        param.data = data.astype(np.float64)

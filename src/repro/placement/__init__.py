@@ -1,0 +1,13 @@
+"""Analog placement: layout geometry and a symmetry-aware SA placer."""
+
+from repro.placement.layout import Orientation, PlacedDevice, Placement
+from repro.placement.placer import NET_WEIGHT_VARIANTS, Placer, place_benchmark
+
+__all__ = [
+    "Orientation",
+    "PlacedDevice",
+    "Placement",
+    "Placer",
+    "NET_WEIGHT_VARIANTS",
+    "place_benchmark",
+]

@@ -1,0 +1,149 @@
+"""Placement geometry: placed devices, pin positions, wirelength.
+
+All coordinates are micrometers; the origin is the lower-left corner of the
+die.  A placement stores the symmetry axis so the router can mirror
+symmetric net pairs about it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import Net
+
+
+class Orientation(enum.Enum):
+    """Device orientation: identity or mirrored about its vertical axis."""
+
+    R0 = "R0"
+    MY = "MY"
+
+
+@dataclass
+class PlacedDevice:
+    """A device instance with a position and orientation.
+
+    Attributes:
+        name: device name.
+        x: lower-left x in micrometers.
+        y: lower-left y in micrometers.
+        orientation: R0 or MY (the right half of a mirrored pair uses MY so
+            its pins mirror the left device's pins).
+    """
+
+    name: str
+    x: float
+    y: float
+    orientation: Orientation = Orientation.R0
+
+
+@dataclass
+class Placement:
+    """A complete placement of a circuit.
+
+    Attributes:
+        circuit: the placed circuit.
+        positions: placed devices keyed by device name.
+        symmetry_axis: x coordinate of the vertical symmetry axis.
+        variant: net-weight variant tag ("A".."D") that produced this
+            placement; informational.
+    """
+
+    circuit: Circuit
+    positions: dict[str, PlacedDevice] = field(default_factory=dict)
+    symmetry_axis: float = 0.0
+    variant: str = "A"
+
+    # -- geometry --------------------------------------------------------------
+
+    def device_box(self, name: str) -> tuple[float, float, float, float]:
+        """Bounding box (x0, y0, x1, y1) of a placed device."""
+        device = self.circuit.device(name)
+        placed = self.positions[name]
+        return (placed.x, placed.y, placed.x + device.width, placed.y + device.height)
+
+    def pin_position(self, device_name: str, pin_name: str) -> tuple[float, float]:
+        """Absolute (x, y) of a pin center, honoring orientation."""
+        device = self.circuit.device(device_name)
+        placed = self.positions[device_name]
+        pin = device.pin(pin_name)
+        dx, dy = pin.offset
+        if placed.orientation is Orientation.MY:
+            dx = device.width - dx
+        return (placed.x + dx, placed.y + dy)
+
+    def net_pin_positions(self, net: Net) -> list[tuple[float, float]]:
+        """Pin positions of every terminal on a net."""
+        return [self.pin_position(d, p) for d, p in net.connections]
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """Bounding box of all placed devices."""
+        if not self.positions:
+            raise ValueError("empty placement has no bounding box")
+        boxes = [self.device_box(name) for name in self.positions]
+        return (
+            min(b[0] for b in boxes),
+            min(b[1] for b in boxes),
+            max(b[2] for b in boxes),
+            max(b[3] for b in boxes),
+        )
+
+    def die_size(self) -> tuple[float, float]:
+        x0, y0, x1, y1 = self.bounding_box()
+        return (x1 - x0, y1 - y0)
+
+    # -- metrics ---------------------------------------------------------------
+
+    def hpwl(self, net: Net) -> float:
+        """Half-perimeter wirelength of one net."""
+        pins = self.net_pin_positions(net)
+        if len(pins) < 2:
+            return 0.0
+        xs = [p[0] for p in pins]
+        ys = [p[1] for p in pins]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def total_hpwl(self, weights: dict[str, float] | None = None) -> float:
+        """Sum of per-net HPWL, optionally weighted by net name."""
+        total = 0.0
+        for net in self.circuit.nets.values():
+            w = 1.0 if weights is None else weights.get(net.name, 1.0)
+            total += w * self.hpwl(net)
+        return total
+
+    # -- validity --------------------------------------------------------------
+
+    def overlapping_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of devices whose boxes overlap (a legal placement has none)."""
+        names = sorted(self.positions)
+        bad = []
+        for i, a in enumerate(names):
+            ax0, ay0, ax1, ay1 = self.device_box(a)
+            for b in names[i + 1:]:
+                bx0, by0, bx1, by1 = self.device_box(b)
+                if ax0 < bx1 and bx0 < ax1 and ay0 < by1 and by0 < ay1:
+                    bad.append((a, b))
+        return bad
+
+    def is_legal(self) -> bool:
+        return not self.overlapping_pairs()
+
+    def symmetry_error(self) -> float:
+        """Total mirror-placement error over constrained device pairs.
+
+        Zero for a placement that honors every device-pair symmetry
+        constraint: the right device's box is the left box mirrored about
+        the symmetry axis, at equal height.
+        """
+        error = 0.0
+        for pair in self.circuit.symmetry_pairs:
+            for left, right in pair.device_pairs:
+                lx0, ly0, lx1, _ = self.device_box(left)
+                rx0, ry0, rx1, _ = self.device_box(right)
+                mirrored_x0 = 2.0 * self.symmetry_axis - lx1
+                mirrored_x1 = 2.0 * self.symmetry_axis - lx0
+                error += abs(rx0 - mirrored_x0) + abs(rx1 - mirrored_x1)
+                error += abs(ry0 - ly0)
+        return error

@@ -1,0 +1,256 @@
+"""Symmetry-aware simulated-annealing placer.
+
+The placer arranges devices in a symmetric block: device pairs constrained
+by symmetry mirror about a vertical axis, axis-centered devices sit on it,
+and unconstrained devices (bias network, dummies) pack into rows below the
+block.  Simulated annealing permutes the packing order to minimize weighted
+half-perimeter wirelength; legality and exact symmetry hold by construction.
+
+Net-weight variants A/B/C/D reproduce the paper's "placements of different
+net weights": each variant emphasizes a different net class, which steers
+the annealer to a different placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.nets import NetType
+from repro.placement.layout import Orientation, PlacedDevice, Placement
+
+#: Net-weight multipliers per variant, applied on top of per-net weights.
+NET_WEIGHT_VARIANTS: dict[str, dict[NetType, float]] = {
+    "A": {},
+    "B": {NetType.INPUT: 4.0, NetType.OUTPUT: 4.0},
+    "C": {NetType.SIGNAL: 4.0},
+    "D": {NetType.BIAS: 4.0},
+}
+
+
+@dataclass(frozen=True)
+class _PairGroup:
+    """Two devices mirrored about the symmetry axis."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class _CenterGroup:
+    """A device centered on the symmetry axis."""
+
+    device: str
+
+
+@dataclass
+class _Genome:
+    """SA state: packing orders for the symmetric block and the singles."""
+
+    sym_order: list = field(default_factory=list)
+    single_order: list[str] = field(default_factory=list)
+
+
+class Placer:
+    """Simulated-annealing analog placer.
+
+    Args:
+        circuit: circuit to place.
+        variant: net-weight variant, one of ``NET_WEIGHT_VARIANTS``.
+        seed: RNG seed; different seeds give different placements.
+        iterations: annealing steps.
+        row_side_width: max packed width on each side of the axis (um).
+        spacing: gap between neighbouring devices (um).
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        variant: str = "A",
+        seed: int = 0,
+        iterations: int = 1500,
+        row_side_width: float = 8.0,
+        spacing: float = 0.6,
+    ) -> None:
+        if variant not in NET_WEIGHT_VARIANTS:
+            raise ValueError(
+                f"unknown variant {variant!r}; choose from {sorted(NET_WEIGHT_VARIANTS)}"
+            )
+        self.circuit = circuit
+        self.variant = variant
+        self.rng = np.random.default_rng(seed)
+        self.iterations = iterations
+        self.row_side_width = row_side_width
+        self.spacing = spacing
+        self.net_weights = self._net_weights()
+        self._groups, self._singles = self._partition()
+
+    # -- setup -----------------------------------------------------------------
+
+    def _net_weights(self) -> dict[str, float]:
+        multipliers = NET_WEIGHT_VARIANTS[self.variant]
+        weights = {}
+        for net in self.circuit.nets.values():
+            weights[net.name] = net.weight * multipliers.get(net.net_type, 1.0)
+        return weights
+
+    def _partition(self) -> tuple[list, list[str]]:
+        """Split devices into symmetric groups and free singles."""
+        paired: set[str] = set()
+        groups: list = []
+        for pair in self.circuit.symmetry_pairs:
+            for left, right in pair.device_pairs:
+                if left in paired or right in paired:
+                    continue
+                groups.append(_PairGroup(left=left, right=right))
+                paired.add(left)
+                paired.add(right)
+        # Devices only touched by self-symmetric nets go on the axis.
+        centered: set[str] = set()
+        for net in self.circuit.nets.values():
+            if not net.self_symmetric:
+                continue
+            for device_name in net.devices():
+                if device_name not in paired and device_name not in centered:
+                    groups.append(_CenterGroup(device=device_name))
+                    centered.add(device_name)
+        singles = [
+            name
+            for name in sorted(self.circuit.devices)
+            if name not in paired and name not in centered
+        ]
+        return groups, singles
+
+    # -- genome -> placement ----------------------------------------------------
+
+    def _realize(self, genome: _Genome) -> Placement:
+        """Derive a legal symmetric placement from a genome."""
+        placement = Placement(
+            circuit=self.circuit, symmetry_axis=0.0, variant=self.variant
+        )
+        positions = placement.positions
+        gap = self.spacing
+
+        # Symmetric block above y=0, mirrored about x=0.
+        y = 0.0
+        row_height = 0.0
+        offset = gap / 2.0
+        has_center = False
+        for group in genome.sym_order:
+            if isinstance(group, _CenterGroup):
+                device = self.circuit.device(group.device)
+                row_occupied = has_center or offset > gap / 2.0
+                if row_occupied and row_height > 0.0:
+                    y += row_height + gap
+                    row_height, offset, has_center = 0.0, gap / 2.0, False
+                positions[group.device] = PlacedDevice(
+                    name=group.device, x=-device.width / 2.0, y=y
+                )
+                offset = max(offset, device.width / 2.0 + gap)
+                row_height = max(row_height, device.height)
+                has_center = True
+            else:
+                left = self.circuit.device(group.left)
+                right = self.circuit.device(group.right)
+                side = max(left.width, right.width)
+                if offset + side > self.row_side_width and offset > gap:
+                    y += row_height + gap
+                    row_height, offset, has_center = 0.0, gap / 2.0, False
+                positions[group.left] = PlacedDevice(
+                    name=group.left, x=-offset - left.width, y=y
+                )
+                positions[group.right] = PlacedDevice(
+                    name=group.right, x=offset, y=y, orientation=Orientation.MY
+                )
+                offset += side + gap
+                row_height = max(row_height, left.height, right.height)
+
+        # Singles packed in rows below y=0 spanning both sides.
+        y = 0.0
+        row_height = 0.0
+        x = -self.row_side_width
+        for name in genome.single_order:
+            device = self.circuit.device(name)
+            if x + device.width > self.row_side_width and x > -self.row_side_width:
+                y -= row_height + gap
+                row_height, x = 0.0, -self.row_side_width
+            positions[name] = PlacedDevice(name=name, x=x, y=y - device.height - gap)
+            row_height = max(row_height, device.height + gap)
+            x += device.width + gap
+
+        # Translate everything to positive coordinates with a margin.
+        min_x = min(p.x for p in positions.values())
+        min_y = min(p.y for p in positions.values())
+        margin = 2.0 * gap
+        dx, dy = margin - min_x, margin - min_y
+        for placed in positions.values():
+            placed.x += dx
+            placed.y += dy
+        placement.symmetry_axis = dx
+        return placement
+
+    # -- annealing ---------------------------------------------------------------
+
+    def _cost(self, genome: _Genome) -> float:
+        return self._realize(genome).total_hpwl(self.net_weights)
+
+    def _neighbour(self, genome: _Genome) -> _Genome:
+        new = _Genome(sym_order=list(genome.sym_order),
+                      single_order=list(genome.single_order))
+        pools = []
+        if len(new.sym_order) >= 2:
+            pools.append(new.sym_order)
+        if len(new.single_order) >= 2:
+            pools.append(new.single_order)
+        if not pools:
+            return new
+        pool = pools[self.rng.integers(len(pools))]
+        i, j = self.rng.choice(len(pool), size=2, replace=False)
+        if self.rng.random() < 0.5:
+            pool[i], pool[j] = pool[j], pool[i]
+        else:
+            item = pool.pop(i)
+            pool.insert(j, item)
+        return new
+
+    def place(self) -> Placement:
+        """Run annealing and return the best legal placement found."""
+        genome = _Genome(sym_order=list(self._groups),
+                         single_order=list(self._singles))
+        self.rng.shuffle(genome.sym_order)
+        self.rng.shuffle(genome.single_order)
+        best = genome
+        best_cost = cost = self._cost(genome)
+        temperature = max(best_cost * 0.05, 1e-9)
+        cooling = 0.995
+        for _ in range(self.iterations):
+            candidate = self._neighbour(genome)
+            candidate_cost = self._cost(candidate)
+            delta = candidate_cost - cost
+            if delta <= 0 or self.rng.random() < np.exp(-delta / temperature):
+                genome, cost = candidate, candidate_cost
+                if cost < best_cost:
+                    best, best_cost = genome, cost
+            temperature *= cooling
+        placement = self._realize(best)
+        if not placement.is_legal():
+            raise RuntimeError(
+                f"placer produced illegal placement for {self.circuit.name}: "
+                f"{placement.overlapping_pairs()[:3]}"
+            )
+        return placement
+
+
+def place_benchmark(
+    circuit: Circuit, variant: str = "A", seed: int = 0, iterations: int = 1500
+) -> Placement:
+    """Place a benchmark circuit with one of the A/B/C/D net-weight variants.
+
+    The seed is mixed with the variant so "OTA1-A" and "OTA1-B" explore
+    different annealing trajectories even at the same base seed.
+    """
+    mixed_seed = seed * 8191 + ord(variant[0])
+    placer = Placer(circuit, variant=variant, seed=mixed_seed, iterations=iterations)
+    return placer.place()

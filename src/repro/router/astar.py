@@ -1,0 +1,201 @@
+"""Multi-source multi-target A* maze routing on the 3D grid.
+
+Move costs honor per-layer preferred directions, via costs, PathFinder
+history, and the paper's non-uniform guidance: a step along direction ``d``
+is scaled by the active guidance vector's ``C[d]`` (Section 3.1 — a smaller
+``C[d]`` encourages wires along ``d``).
+
+The search runs over integer-encoded cells (``(ix * ny + iy) * nl + l``)
+with flattened occupancy/history views — routing is the inner loop of
+dataset generation, so constant factors matter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.router.grid import BLOCKED, FREE, GridNode, RoutingGrid
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Router cost knobs.
+
+    Attributes:
+        wire_cost: base cost of a planar unit step in the preferred
+            direction.
+        wrong_way_penalty: multiplier for planar steps against the layer's
+            preferred direction.
+        via_cost: base cost of a layer change.
+        present_penalty: additive cost of stepping onto a cell owned by
+            another net (soft/negotiation mode only).
+        history_weight: multiplier on the grid's history cost.
+    """
+
+    wire_cost: float = 1.0
+    wrong_way_penalty: float = 2.5
+    via_cost: float = 4.0
+    present_penalty: float = 25.0
+    history_weight: float = 1.0
+
+
+class AStarRouter:
+    """Routes individual 2-pin connections on a :class:`RoutingGrid`."""
+
+    def __init__(self, grid: RoutingGrid, params: CostParams | None = None) -> None:
+        self.grid = grid
+        self.params = params or CostParams()
+
+    def route_connection(
+        self,
+        net: str,
+        sources: set[GridNode],
+        targets: set[GridNode],
+        guidance_vec: np.ndarray | None = None,
+        soft: bool = False,
+        max_expansions: int = 200_000,
+        layer_multipliers: "np.ndarray | None" = None,
+    ) -> list[GridNode] | None:
+        """Find a cheapest path from any source to any target.
+
+        Args:
+            net: the net being routed (its own cells are passable).
+            sources: starting cells (the already-routed tree).
+            targets: goal cells.
+            guidance_vec: length-3 guidance multipliers (x, y, z); neutral
+                when None.
+            soft: when True, cells owned by other nets are passable at
+                ``present_penalty`` (negotiation mode); when False they are
+                hard blocked.
+            max_expansions: search budget before giving up.
+            layer_multipliers: optional per-layer planar-cost multipliers
+                (length = num layers); e.g. supply nets get > 1 on thin
+                lower metals to prefer routing on thick upper metals.
+
+        Returns:
+            The path as a list of grid cells from a source to a target, or
+            None when no path exists within budget.
+        """
+        if not sources or not targets:
+            return None
+        grid = self.grid
+        p = self.params
+        if guidance_vec is None:
+            guid = (1.0, 1.0, 1.0)
+        else:
+            arr = np.asarray(guidance_vec, dtype=float)
+            if arr.shape != (3,):
+                raise ValueError(f"guidance_vec must have shape (3,), got {arr.shape}")
+            guid = (float(arr[0]), float(arr[1]), float(arr[2]))
+
+        nx, ny, nl = grid.nx, grid.ny, grid.num_layers
+        if layer_multipliers is not None and len(layer_multipliers) != nl:
+            raise ValueError(
+                f"layer_multipliers needs {nl} entries, got "
+                f"{len(layer_multipliers)}")
+        # Per-(layer, axis) planar step cost, and via step cost.
+        planar_cost = [[0.0, 0.0] for _ in range(nl)]
+        for layer in range(nl):
+            pref_axis = grid.preferred_direction(layer).axis
+            scale = 1.0 if layer_multipliers is None else float(
+                layer_multipliers[layer])
+            for axis in range(2):
+                base = p.wire_cost if axis == pref_axis else (
+                    p.wire_cost * p.wrong_way_penalty)
+                planar_cost[layer][axis] = base * guid[axis] * scale
+        via_cost = p.via_cost * guid[2]
+        h_scale = min(min(row) for row in planar_cost)
+
+        # Integer cell encoding matching C-order of the occupancy array.
+        def encode(cell: GridNode) -> int:
+            return (cell[0] * ny + cell[1]) * nl + cell[2]
+
+        target_nodes = {encode(t) for t in targets}
+        target_xy = [(t[0], t[1]) for t in targets]
+        single_target = target_xy[0] if len(target_xy) == 1 else None
+
+        def heuristic(ix: int, iy: int) -> float:
+            if single_target is not None:
+                tx, ty = single_target
+                return (abs(tx - ix) + abs(ty - iy)) * h_scale
+            return min(abs(tx - ix) + abs(ty - iy) for tx, ty in target_xy) * h_scale
+
+        occ = grid.occupancy.reshape(-1)
+        history = grid.history.reshape(-1)
+        net_idx = grid.net_index[net]
+        hist_w = p.history_weight
+        present = p.present_penalty
+        free, blocked = FREE, BLOCKED
+
+        open_heap: list[tuple[float, float, int]] = []
+        g_cost: dict[int, float] = {}
+        parent: dict[int, int] = {}
+        # Sources are pushed in sorted order so tie-breaking (and therefore
+        # the chosen path) is identical across processes regardless of set
+        # iteration order / PYTHONHASHSEED.
+        for s in sorted(sources):
+            node = encode(s)
+            g_cost[node] = 0.0
+            parent[node] = -1
+            heapq.heappush(open_heap, (heuristic(s[0], s[1]), 0.0, node))
+
+        heappush, heappop = heapq.heappush, heapq.heappop
+        inf = float("inf")
+        expansions = 0
+        while open_heap and expansions < max_expansions:
+            _, g, node = heappop(open_heap)
+            if g > g_cost.get(node, inf):
+                continue
+            if node in target_nodes:
+                return self._reconstruct(parent, node, ny, nl)
+            expansions += 1
+            layer = node % nl
+            rem = node // nl
+            iy = rem % ny
+            ix = rem // ny
+            costs = planar_cost[layer]
+            # (neighbor, step_cost, in_bounds)
+            steps = (
+                (node + ny * nl, costs[0], ix + 1 < nx),
+                (node - ny * nl, costs[0], ix >= 1),
+                (node + nl, costs[1], iy + 1 < ny),
+                (node - nl, costs[1], iy >= 1),
+                (node + 1, via_cost, layer + 1 < nl),
+                (node - 1, via_cost, layer >= 1),
+            )
+            for nxt, step, ok in steps:
+                if not ok:
+                    continue
+                owner = occ[nxt]
+                if owner == blocked:
+                    continue
+                extra = 0.0
+                if owner != free and owner != net_idx:
+                    if not soft:
+                        continue
+                    extra = present
+                new_g = g + step + extra + hist_w * history[nxt]
+                if new_g < g_cost.get(nxt, inf):
+                    g_cost[nxt] = new_g
+                    parent[nxt] = node
+                    n_rem = nxt // nl
+                    heappush(open_heap,
+                             (new_g + heuristic(n_rem // ny, n_rem % ny), new_g, nxt))
+        return None
+
+    @staticmethod
+    def _reconstruct(
+        parent: dict[int, int], end: int, ny: int, nl: int
+    ) -> list[GridNode]:
+        path: list[GridNode] = []
+        node = end
+        while node != -1:
+            layer = node % nl
+            rem = node // nl
+            path.append((rem // ny, rem % ny, layer))
+            node = parent[node]
+        path.reverse()
+        return path

@@ -1,0 +1,97 @@
+"""Probabilistic global routing: congestion estimation before detail route.
+
+The paper frames guidance over "routing cost maps for global routing"
+(Section 4.1).  This module builds that map: each net spreads unit routing
+demand over its bounding box (the classic probabilistic / FLUTE-free
+congestion model), giving a per-cell expected-usage map.  The iterative
+router can pre-seed its PathFinder history from this map so that nets
+routed early already avoid predicted hotspots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.router.grid import RoutingGrid
+
+
+@dataclass(frozen=True)
+class GlobalRouteConfig:
+    """Congestion-estimation knobs.
+
+    Attributes:
+        demand_weight: scale of the per-net demand spread over its bbox.
+        history_scale: multiplier converting normalized congestion into
+            initial PathFinder history cost.
+        hotspot_percentile: cells above this demand percentile count as
+            hotspots in :func:`hotspots`.
+    """
+
+    demand_weight: float = 1.0
+    history_scale: float = 2.0
+    hotspot_percentile: float = 90.0
+
+
+def congestion_map(grid: RoutingGrid, config: GlobalRouteConfig | None = None
+                   ) -> np.ndarray:
+    """Expected routing demand per (x, y) cell, shape (nx, ny).
+
+    Every net with >= 2 terminals spreads ``demand_weight * (hpwl /
+    bbox_area)`` uniformly over its terminal bounding box — the standard
+    probabilistic-usage approximation.
+    """
+    cfg = config or GlobalRouteConfig()
+    demand = np.zeros((grid.nx, grid.ny))
+    for net_name, aps in grid.access_points.items():
+        if len(aps) < 2:
+            continue
+        xs = [ap.cell[0] for ap in aps]
+        ys = [ap.cell[1] for ap in aps]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        hpwl = (x1 - x0) + (y1 - y0)
+        if hpwl == 0:
+            continue
+        area = (x1 - x0 + 1) * (y1 - y0 + 1)
+        demand[x0:x1 + 1, y0:y1 + 1] += cfg.demand_weight * hpwl / area
+    return demand
+
+
+def normalized_congestion(grid: RoutingGrid,
+                          config: GlobalRouteConfig | None = None
+                          ) -> np.ndarray:
+    """Congestion map scaled to [0, 1]."""
+    demand = congestion_map(grid, config)
+    peak = demand.max()
+    if peak > 0:
+        demand = demand / peak
+    return demand
+
+
+def hotspots(grid: RoutingGrid, config: GlobalRouteConfig | None = None
+             ) -> list[tuple[int, int]]:
+    """(x, y) cells whose demand exceeds the hotspot percentile."""
+    cfg = config or GlobalRouteConfig()
+    demand = congestion_map(grid, cfg)
+    positive = demand[demand > 0]
+    if positive.size == 0:
+        return []
+    threshold = np.percentile(positive, cfg.hotspot_percentile)
+    coords = np.argwhere(demand >= max(threshold, 1e-12))
+    return [tuple(int(v) for v in c) for c in coords]
+
+
+def seed_history_from_congestion(
+    grid: RoutingGrid, config: GlobalRouteConfig | None = None
+) -> np.ndarray:
+    """Pre-seed the grid's PathFinder history with predicted congestion.
+
+    Applies the same 2D congestion cost to every layer.  Returns the map
+    used, for inspection.
+    """
+    cfg = config or GlobalRouteConfig()
+    normalized = normalized_congestion(grid, cfg)
+    grid.history += cfg.history_scale * normalized[:, :, None]
+    return normalized

@@ -1,0 +1,268 @@
+"""Constraint-aware iterative routing (the paper's step (1), after [16]).
+
+The router processes nets in criticality order — symmetric pairs first, then
+signal nets by weight, then bias, then supplies.  Multi-terminal nets are
+decomposed into 2-pin connections along a minimum spanning tree of their
+access points.  Failed or conflicting nets trigger PathFinder-style
+negotiation: the failing net routes in soft mode over other nets, the nets
+it crossed are ripped up and re-queued, and history costs grow on the
+contested cells.
+
+Routing guidance enters through the cost function: each 2-pin connection is
+routed with the blend of its endpoint access points' guidance vectors
+(Section 3.2: "routing guidance C are honored via penalties in the cost
+function along different directions for different pin access points").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.nets import Net, NetType
+from repro.router.astar import AStarRouter, CostParams
+from repro.router.grid import GridNode, RoutingGrid
+from repro.router.guidance import AccessPoint, RoutingGuidance
+from repro.router.result import NetRoute, RoutingResult
+from repro.router.symmetry import mirror_route
+
+
+@dataclass
+class RouterConfig:
+    """Iterative router knobs.
+
+    Attributes:
+        cost: A* cost parameters.
+        max_iterations: rip-up-and-reroute rounds before giving up.
+        history_increment: history cost added to contested cells per round.
+        max_expansions: A* search budget per connection.
+        layer_cost_by_type: optional per-net-type planar-cost multipliers
+            per layer, e.g. ``{NetType.POWER: (2.0, 2.0, 1.0, 1.0)}`` to
+            push supply routing onto the thick upper metals.
+    """
+
+    cost: CostParams = field(default_factory=CostParams)
+    max_iterations: int = 8
+    history_increment: float = 2.0
+    max_expansions: int = 200_000
+    layer_cost_by_type: dict[NetType, tuple[float, ...]] | None = None
+
+
+#: Net ordering classes: lower routes earlier.
+_TYPE_PRIORITY = {
+    NetType.INPUT: 0,
+    NetType.OUTPUT: 0,
+    NetType.SIGNAL: 1,
+    NetType.CLOCK: 1,
+    NetType.BIAS: 2,
+    NetType.POWER: 3,
+    NetType.GROUND: 3,
+}
+
+
+class IterativeRouter:
+    """Routes a whole circuit on a grid, honoring symmetry and guidance."""
+
+    def __init__(
+        self,
+        grid: RoutingGrid,
+        guidance: RoutingGuidance | None = None,
+        config: RouterConfig | None = None,
+    ) -> None:
+        self.grid = grid
+        self.guidance = guidance or RoutingGuidance()
+        self.config = config or RouterConfig()
+        self.astar = AStarRouter(grid, self.config.cost)
+        self.circuit = grid.placement.circuit
+
+    # -- public API ---------------------------------------------------------------
+
+    def route_all(self) -> RoutingResult:
+        """Route every net with >= 2 terminals; returns the full solution."""
+        result = RoutingResult()
+        order = self._net_order()
+        queue: list[str] = list(order)
+        routed: dict[str, NetRoute] = {}
+        mirrored_from: dict[str, str] = self._mirror_partners()
+        iterations = 0
+
+        while queue and iterations < self.config.max_iterations:
+            iterations += 1
+            requeue: list[str] = []
+            for net_name in queue:
+                if net_name in routed:
+                    continue
+                partner = mirrored_from.get(net_name)
+                if partner is not None and partner in routed:
+                    # Try exact mirror of the already-routed left partner.
+                    mirror = mirror_route(self.grid, routed[partner], net_name)
+                    if mirror is not None:
+                        self._commit(mirror)
+                        routed[net_name] = mirror
+                        continue
+                route, conflicts = self._route_net(net_name)
+                if route is None:
+                    requeue.append(net_name)
+                    continue
+                if conflicts:
+                    # Sorted for cross-process determinism (set order varies
+                    # with string hash randomization).
+                    for victim in sorted(conflicts):
+                        if victim in routed:
+                            self._rip_up(routed.pop(victim))
+                            requeue.append(victim)
+                if partner is not None and partner not in routed:
+                    route.symmetric_ok = False
+                self._commit(route)
+                routed[net_name] = route
+            queue = requeue
+
+        # Mark right-side nets that had to route independently.
+        for right, left in mirrored_from.items():
+            right_route = routed.get(right)
+            left_route = routed.get(left)
+            if right_route is None or left_route is None:
+                continue
+            mirrored = {self.grid.mirror_cell(c) for c in left_route.cells()}
+            right_route.symmetric_ok = mirrored == right_route.cells()
+
+        result.routes = routed
+        result.iterations = iterations
+        result.failed_nets = sorted(
+            n for n in self._routable_names() if n not in routed
+        )
+        return result
+
+    # -- ordering -------------------------------------------------------------------
+
+    def _routable_names(self) -> list[str]:
+        return [n.name for n in self.circuit.nets.values() if n.degree >= 2]
+
+    def _net_order(self) -> list[str]:
+        symmetric = self.circuit.symmetric_net_names()
+
+        def sort_key(net: Net) -> tuple:
+            prio = _TYPE_PRIORITY.get(net.net_type, 2)
+            sym_first = 0 if net.name in symmetric or net.self_symmetric else 1
+            return (prio, sym_first, -net.weight, net.name)
+
+        nets = [self.circuit.net(n) for n in self._routable_names()]
+        ordered = sorted(nets, key=sort_key)
+
+        # Keep symmetry pairs adjacent, left net first.
+        names: list[str] = []
+        for net in ordered:
+            if net.name in names:
+                continue
+            names.append(net.name)
+            pair = self.circuit.symmetry_pair_of(net.name)
+            if pair is not None:
+                other = pair.partner(net.name)
+                if other not in names and other in {n.name for n in nets}:
+                    names.append(other)
+        return names
+
+    def _mirror_partners(self) -> dict[str, str]:
+        """Map right-side net -> left-side net for each symmetry pair.
+
+        "Left" is whichever net routes first per :meth:`_net_order`.
+        """
+        order = {name: i for i, name in enumerate(self._net_order())}
+        partners: dict[str, str] = {}
+        for pair in self.circuit.symmetry_pairs:
+            a, b = pair.net_a, pair.net_b
+            if a not in order or b not in order:
+                continue
+            first, second = (a, b) if order[a] < order[b] else (b, a)
+            partners[second] = first
+        return partners
+
+    # -- single-net routing -----------------------------------------------------------
+
+    def _route_net(self, net_name: str) -> tuple[NetRoute | None, set[str]]:
+        """Route one net; returns (route, conflicting nets ripped through).
+
+        First tries hard-blocked routing; when a connection fails, falls
+        back to soft (negotiation) mode and reports the nets whose cells the
+        path crosses so the caller can rip them up.
+        """
+        aps = self.grid.access_points[net_name]
+        route = NetRoute(net=net_name, access_points=aps)
+        if len(aps) < 2:
+            return route, set()
+
+        layer_mult = None
+        if self.config.layer_cost_by_type is not None:
+            net_type = self.circuit.net(net_name).net_type
+            spec = self.config.layer_cost_by_type.get(net_type)
+            if spec is not None:
+                layer_mult = np.asarray(spec, dtype=float)
+
+        conflicts: set[str] = set()
+        tree_cells: set[GridNode] = {aps[0].cell}
+        remaining = list(self._mst_order(aps))
+        for target_ap in remaining:
+            if target_ap.cell in tree_cells:
+                continue
+            guid = self._connection_guidance(target_ap, aps)
+            path = self.astar.route_connection(
+                net_name, tree_cells, {target_ap.cell}, guidance_vec=guid,
+                soft=False, max_expansions=self.config.max_expansions,
+                layer_multipliers=layer_mult,
+            )
+            if path is None:
+                path = self.astar.route_connection(
+                    net_name, tree_cells, {target_ap.cell}, guidance_vec=guid,
+                    soft=True, max_expansions=self.config.max_expansions,
+                    layer_multipliers=layer_mult,
+                )
+                if path is None:
+                    return None, conflicts
+                for cell in path:
+                    owner = self.grid.owner(cell)
+                    if owner >= 0 and self.grid.net_names[owner] != net_name:
+                        conflicts.add(self.grid.net_names[owner])
+                        self.grid.history[cell] += self.config.history_increment
+            route.paths.append(path)
+            tree_cells.update(path)
+        return route, conflicts
+
+    def _mst_order(self, aps: list[AccessPoint]) -> list[AccessPoint]:
+        """Order terminals by nearest-neighbour growth from the first AP."""
+        if len(aps) <= 1:
+            return []
+        pending = list(aps[1:])
+        anchor_cells = [aps[0].cell]
+        ordered: list[AccessPoint] = []
+        while pending:
+            best_i, best_d = 0, float("inf")
+            for i, ap in enumerate(pending):
+                d = min(
+                    abs(ap.cell[0] - c[0]) + abs(ap.cell[1] - c[1])
+                    for c in anchor_cells
+                )
+                if d < best_d:
+                    best_i, best_d = i, d
+            nxt = pending.pop(best_i)
+            ordered.append(nxt)
+            anchor_cells.append(nxt.cell)
+        return ordered
+
+    def _connection_guidance(
+        self, target_ap: AccessPoint, aps: list[AccessPoint]
+    ) -> np.ndarray:
+        """Blend of the target AP's guidance and the net-mean guidance."""
+        net_mean = self.guidance.net_vector(aps)
+        target_vec = self.guidance.get(target_ap.key)
+        return 0.5 * (net_mean + target_vec)
+
+    # -- occupancy management ------------------------------------------------------------
+
+    def _commit(self, route: NetRoute) -> None:
+        for cell in route.cells():
+            self.grid.claim(cell, route.net)
+
+    def _rip_up(self, route: NetRoute) -> None:
+        self.grid.release_net(route.net)
+        route.paths.clear()

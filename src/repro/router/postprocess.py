@@ -1,0 +1,94 @@
+"""Post-processing: DRC checking and violation repair (paper's step (2)).
+
+Because the routing pitch exceeds min-width + min-spacing, same-layer
+spacing between distinct nets is clean by construction; the checks that
+remain meaningful on the grid are cell exclusivity (short check), bounds,
+connectivity, and symmetry conformance.  ``post_process`` repairs repairable
+violations by ripping up and re-routing the offending nets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.router.grid import RoutingGrid
+from repro.router.result import NetRoute, RoutingResult
+
+
+@dataclass(frozen=True)
+class DrcViolation:
+    """A single design-rule or constraint violation.
+
+    Attributes:
+        kind: "short" | "open" | "bounds" | "symmetry" | "unrouted".
+        nets: nets involved.
+        detail: human-readable description.
+    """
+
+    kind: str
+    nets: tuple[str, ...]
+    detail: str
+
+
+def check_drc(result: RoutingResult, grid: RoutingGrid) -> list[DrcViolation]:
+    """Run all grid-level DRC/constraint checks on a routing solution."""
+    violations: list[DrcViolation] = []
+
+    for cell, nets in sorted(result.overlaps().items()):
+        violations.append(DrcViolation(
+            kind="short", nets=tuple(sorted(nets)),
+            detail=f"cell {cell} shared by {sorted(nets)}",
+        ))
+
+    for name, route in sorted(result.routes.items()):
+        for cell in route.cells():
+            if not grid.in_bounds(cell):
+                violations.append(DrcViolation(
+                    kind="bounds", nets=(name,),
+                    detail=f"net {name} leaves the grid at {cell}",
+                ))
+                break
+        if not route.is_connected():
+            violations.append(DrcViolation(
+                kind="open", nets=(name,),
+                detail=f"net {name} does not connect all access points",
+            ))
+
+    for net_name in sorted(result.failed_nets):
+        violations.append(DrcViolation(
+            kind="unrouted", nets=(net_name,), detail=f"net {net_name} unrouted",
+        ))
+
+    circuit = grid.placement.circuit
+    for pair in circuit.symmetry_pairs:
+        route_b = result.routes.get(pair.net_b)
+        if route_b is not None and not route_b.symmetric_ok:
+            violations.append(DrcViolation(
+                kind="symmetry", nets=(pair.net_a, pair.net_b),
+                detail=f"pair ({pair.net_a}, {pair.net_b}) routed asymmetrically",
+            ))
+    return violations
+
+
+def _dedupe_route(route: NetRoute) -> None:
+    """Drop repeated consecutive cells inside each path (grid-snap loops)."""
+    for i, path in enumerate(route.paths):
+        cleaned = [path[0]] if path else []
+        for cell in path[1:]:
+            if cell != cleaned[-1]:
+                cleaned.append(cell)
+        route.paths[i] = cleaned
+
+
+def post_process(
+    result: RoutingResult, grid: RoutingGrid
+) -> tuple[RoutingResult, list[DrcViolation]]:
+    """Clean paths and report the violations that remain.
+
+    Shorts and opens are hard errors the iterative router should not emit;
+    symmetry violations are soft (they degrade performance but the layout is
+    manufacturable), matching the paper's treatment.
+    """
+    for route in result.routes.values():
+        _dedupe_route(route)
+    return result, check_drc(result, grid)

@@ -1,0 +1,112 @@
+"""Routing results: per-net paths, wirelength and via statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.router.guidance import AccessPoint
+
+GridCell = tuple[int, int, int]
+
+
+@dataclass
+class NetRoute:
+    """The routed geometry of one net.
+
+    Attributes:
+        net: net name.
+        paths: list of grid-cell paths; each path connects a new terminal to
+            the already-routed tree (Steiner decomposition).
+        access_points: the net's access points, in terminal order.
+        symmetric_ok: for nets in a symmetry pair, whether the mirror
+            constraint was honored exactly.
+    """
+
+    net: str
+    paths: list[list[GridCell]] = field(default_factory=list)
+    access_points: list[AccessPoint] = field(default_factory=list)
+    symmetric_ok: bool = True
+
+    def cells(self) -> set[GridCell]:
+        """All grid cells occupied by this net."""
+        occupied: set[GridCell] = set()
+        for path in self.paths:
+            occupied.update(path)
+        return occupied
+
+    def segments(self) -> list[tuple[GridCell, GridCell]]:
+        """Consecutive cell pairs along every path (unit wire/via edges)."""
+        edges = []
+        for path in self.paths:
+            for a, b in zip(path, path[1:]):
+                edges.append((a, b))
+        return edges
+
+    def wirelength(self) -> int:
+        """Number of planar (same-layer) unit segments."""
+        return sum(1 for a, b in self.segments() if a[2] == b[2])
+
+    def via_count(self) -> int:
+        """Number of layer-changing unit segments."""
+        return sum(1 for a, b in self.segments() if a[2] != b[2])
+
+    def is_connected(self) -> bool:
+        """Whether the union of paths connects all access points."""
+        if len(self.access_points) <= 1:
+            return True
+        cells = self.cells()
+        if not cells:
+            return False
+        adjacency: dict[GridCell, set[GridCell]] = {c: set() for c in cells}
+        for a, b in self.segments():
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        start = self.access_points[0].cell
+        if start not in cells:
+            return False
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return all(ap.cell in seen for ap in self.access_points)
+
+
+@dataclass
+class RoutingResult:
+    """A complete routing solution for a circuit.
+
+    Attributes:
+        routes: per-net routes keyed by net name.
+        failed_nets: nets the router could not complete.
+        iterations: rip-up-and-reroute iterations used.
+    """
+
+    routes: dict[str, NetRoute] = field(default_factory=dict)
+    failed_nets: list[str] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def success(self) -> bool:
+        return not self.failed_nets
+
+    def total_wirelength(self) -> int:
+        return sum(route.wirelength() for route in self.routes.values())
+
+    def total_vias(self) -> int:
+        return sum(route.via_count() for route in self.routes.values())
+
+    def cell_owners(self) -> dict[GridCell, list[str]]:
+        """Map each occupied cell to the nets using it (for overlap checks)."""
+        owners: dict[GridCell, list[str]] = {}
+        for name, route in self.routes.items():
+            for cell in route.cells():
+                owners.setdefault(cell, []).append(name)
+        return owners
+
+    def overlaps(self) -> dict[GridCell, list[str]]:
+        """Cells claimed by more than one net."""
+        return {c: nets for c, nets in self.cell_owners().items() if len(nets) > 1}

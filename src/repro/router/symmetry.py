@@ -1,0 +1,56 @@
+"""Symmetric net-pair routing support.
+
+A symmetry pair is routed by mirroring the left net's paths about the
+placement symmetry axis.  When the mirrored geometry is unavailable (blocked
+or taken by another net) the right net falls back to independent routing and
+the route is flagged asymmetric — the asymmetry then shows up as parasitic
+mismatch in extraction/simulation, exactly the mechanism the paper's offset
+and CMRR metrics respond to.
+"""
+
+from __future__ import annotations
+
+from repro.router.grid import GridNode, RoutingGrid
+from repro.router.result import NetRoute
+
+
+def mirror_path(grid: RoutingGrid, path: list[GridNode]) -> list[GridNode]:
+    """Mirror a path about the symmetry axis (exact involution)."""
+    return [grid.mirror_cell(cell) for cell in path]
+
+
+def mirror_available(
+    grid: RoutingGrid, paths: list[list[GridNode]], net: str
+) -> bool:
+    """Whether every mirrored cell is in bounds and available to ``net``."""
+    for path in paths:
+        for cell in path:
+            mirrored = grid.mirror_cell(cell)
+            if not grid.in_bounds(mirrored):
+                return False
+            if not grid.is_available(mirrored, net):
+                return False
+    return True
+
+
+def mirror_route(
+    grid: RoutingGrid, left_route: NetRoute, right_net: str
+) -> NetRoute | None:
+    """Build the right net's route as the mirror of the left route.
+
+    Returns None when the mirrored geometry is unavailable or does not land
+    on the right net's access points (pin positions not exactly mirrored).
+    """
+    if not mirror_available(grid, left_route.paths, right_net):
+        return None
+    mirrored_paths = [mirror_path(grid, p) for p in left_route.paths]
+    right_aps = grid.access_points[right_net]
+    route = NetRoute(
+        net=right_net, paths=mirrored_paths, access_points=right_aps,
+        symmetric_ok=True,
+    )
+    # The mirrored tree must reach every right-net access point; otherwise a
+    # slightly asymmetric placement broke pin correspondence.
+    if not route.is_connected():
+        return None
+    return route

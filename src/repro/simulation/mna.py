@@ -1,0 +1,169 @@
+"""Modified nodal analysis over complex frequency.
+
+Element stamps accumulate into a conductance matrix ``G`` and a capacitance
+matrix ``C``; an AC solve at angular frequency ``w`` factors ``G + jwC``
+once and back-substitutes any number of right-hand sides — the noise
+analysis exploits this by reusing one factorization for every device's
+injection vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+#: Conductance from every node to ground, keeping G non-singular at DC for
+#: nodes reached only through capacitors or MOS gates.
+G_MIN = 1e-10
+
+
+class MnaSystem:
+    """A linear(ized) circuit ready for AC analysis.
+
+    Nodes are referenced by string name; the ground node is the reserved
+    name ``"0"``.  Stamps may be added in any order before solving.
+    """
+
+    GROUND = "0"
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        self._g_entries: list[tuple[int, int, float]] = []
+        self._c_entries: list[tuple[int, int, float]] = []
+        self._g: np.ndarray | None = None
+        self._c: np.ndarray | None = None
+
+    # -- node management --------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Index of a node, creating it on first use.  Ground is -1."""
+        if name == self.GROUND:
+            return -1
+        if name not in self._index:
+            self._index[name] = len(self._index)
+            self._g = None
+        return self._index[name]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._index)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._index
+
+    # -- stamps -------------------------------------------------------------------
+
+    def _stamp_pair(
+        self, entries: list[tuple[int, int, float]], a: int, b: int, value: float
+    ) -> None:
+        if a >= 0:
+            entries.append((a, a, value))
+        if b >= 0:
+            entries.append((b, b, value))
+        if a >= 0 and b >= 0:
+            entries.append((a, b, -value))
+            entries.append((b, a, -value))
+        self._g = None
+
+    def add_conductance(self, a: str, b: str, g: float) -> None:
+        """Conductance ``g`` siemens between nodes ``a`` and ``b``."""
+        if g < 0:
+            raise ValueError(f"negative conductance {g}")
+        self._stamp_pair(self._g_entries, self.node(a), self.node(b), g)
+
+    def add_resistance(self, a: str, b: str, r: float) -> None:
+        if r <= 0:
+            raise ValueError(f"non-positive resistance {r}")
+        self.add_conductance(a, b, 1.0 / r)
+
+    def add_capacitance(self, a: str, b: str, c: float) -> None:
+        """Capacitance ``c`` farads between nodes ``a`` and ``b``."""
+        if c < 0:
+            raise ValueError(f"negative capacitance {c}")
+        self._stamp_pair(self._c_entries, self.node(a), self.node(b), c)
+
+    def add_vccs(self, out_p: str, out_n: str, in_p: str, in_n: str, gm: float) -> None:
+        """Voltage-controlled current source: I(out_p -> out_n) = gm * V(in_p, in_n)."""
+        op, on = self.node(out_p), self.node(out_n)
+        ip, in_ = self.node(in_p), self.node(in_n)
+        for row, sign_row in ((op, 1.0), (on, -1.0)):
+            if row < 0:
+                continue
+            for col, sign_col in ((ip, 1.0), (in_, -1.0)):
+                if col < 0:
+                    continue
+                self._g_entries.append((row, col, gm * sign_row * sign_col))
+        self._g = None
+
+    # -- assembly and solving -------------------------------------------------------
+
+    def _assemble(self) -> None:
+        n = self.num_nodes
+        g = np.zeros((n, n))
+        c = np.zeros((n, n))
+        for i, j, v in self._g_entries:
+            g[i, j] += v
+        for i, j, v in self._c_entries:
+            c[i, j] += v
+        g[np.diag_indices(n)] += G_MIN
+        self._g, self._c = g, c
+
+    def factorized(self, freq: float):
+        """LU factorization of (G + j*2*pi*f*C); reusable across RHS."""
+        if self._g is None:
+            self._assemble()
+        omega = 2.0 * np.pi * freq
+        matrix = self._g.astype(complex) + 1j * omega * self._c
+        return lu_factor(matrix)
+
+    def solve(
+        self, freq: float, injections: dict[str, complex], factor=None
+    ) -> dict[str, complex]:
+        """Node voltages for current injections at one frequency.
+
+        Args:
+            freq: analysis frequency in hertz.
+            injections: current (amperes) injected *into* each named node.
+            factor: optional precomputed :meth:`factorized` result.
+
+        Returns:
+            Mapping of node name to complex voltage (ground excluded).
+        """
+        if factor is None:
+            factor = self.factorized(freq)
+        rhs = np.zeros(self.num_nodes, dtype=complex)
+        for name, current in injections.items():
+            idx = self.node(name)
+            if idx >= 0:
+                rhs[idx] += current
+        solution = lu_solve(factor, rhs)
+        return {name: solution[i] for name, i in self._index.items()}
+
+    def adjoint_solve(
+        self, freq: float, output_weights: dict[str, float]
+    ) -> dict[str, complex]:
+        """Transfer from unit current injection at every node to an output.
+
+        Solves the transposed system once: the returned mapping gives, for
+        each node ``n``, the output voltage produced by injecting 1 A into
+        ``n``, where the output is ``sum_k w_k * V(node_k)`` per
+        ``output_weights``.  Noise analysis uses this to price every noise
+        source with a single factorization per frequency.
+        """
+        if self._g is None:
+            self._assemble()
+        omega = 2.0 * np.pi * freq
+        matrix = (self._g.astype(complex) + 1j * omega * self._c).T
+        rhs = np.zeros(self.num_nodes, dtype=complex)
+        for name, weight in output_weights.items():
+            idx = self.node(name)
+            if idx >= 0:
+                rhs[idx] += weight
+        solution = np.linalg.solve(matrix, rhs)
+        return {name: solution[i] for name, i in self._index.items()}
+
+    def voltage(self, solution: dict[str, complex], name: str) -> complex:
+        """Voltage of a node in a solve result (ground = 0)."""
+        if name == self.GROUND:
+            return 0.0 + 0.0j
+        return solution[name]

@@ -1,0 +1,93 @@
+"""Square-law MOS small-signal parameters.
+
+Every MOSFET is linearized about its stated bias point using the standard
+long-channel relations, with short-channel-flavoured constants of 40nm-class
+magnitude.  A deterministic per-device mismatch factor (seeded from the
+circuit and device names) makes perfectly symmetric schematics show finite —
+rather than infinite — CMRR, as real silicon does.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.devices import MOSFET
+
+#: Overdrive voltage assumed for saturated devices (volts).
+V_OV = 0.2
+#: Channel-length modulation per unit length: lambda = LAMBDA_L / L(um).
+LAMBDA_L = 0.04
+#: Gate oxide capacitance (farad per square micrometer), 40nm-class.
+C_OX = 8e-15
+#: Overlap capacitance per micrometer of width.
+C_OV = 0.3e-15
+#: Junction capacitance per micrometer of width.
+C_J = 0.8e-15
+#: Thermal noise excess factor.
+GAMMA_NOISE = 1.0
+#: Flicker noise coefficient (V^2 * F).
+K_FLICKER = 1e-26
+
+
+@dataclass(frozen=True)
+class MosSmallSignal:
+    """Linearized MOSFET parameters.
+
+    Attributes:
+        gm: transconductance (siemens), mismatch applied.
+        gds: output conductance (siemens).
+        cgs: gate-source capacitance (farad).
+        cgd: gate-drain capacitance (farad).
+        cdb: drain-bulk capacitance (farad).
+        thermal_noise_psd: drain current thermal noise PSD (A^2/Hz).
+        flicker_coeff: drain current flicker noise coefficient; PSD at
+            frequency f is ``flicker_coeff / f`` (A^2).
+    """
+
+    gm: float
+    gds: float
+    cgs: float
+    cgd: float
+    cdb: float
+    thermal_noise_psd: float
+    flicker_coeff: float
+
+
+def mismatch_factor(circuit_name: str, device_name: str, sigma: float) -> float:
+    """Deterministic relative mismatch for one device.
+
+    The value is drawn from N(0, sigma) using a CRC of the circuit and
+    device names, so the same device always gets the same mismatch and
+    different circuits (OTA1 vs OTA2) get different mismatch patterns.
+    """
+    seed = zlib.crc32(f"{circuit_name}:{device_name}".encode())
+    rng = np.random.default_rng(seed)
+    return float(1.0 + sigma * rng.standard_normal())
+
+
+def mos_small_signal(
+    mos: MOSFET, circuit_name: str = "", mismatch_sigma: float = 0.0
+) -> MosSmallSignal:
+    """Small-signal parameters of one MOSFET at its stated bias."""
+    i_d = max(mos.bias_current, 1e-9)
+    factor = (
+        mismatch_factor(circuit_name, mos.name, mismatch_sigma)
+        if mismatch_sigma > 0.0
+        else 1.0
+    )
+    gm = 2.0 * i_d / V_OV * factor
+    gds = (LAMBDA_L / mos.l) * i_d
+    cgs = (2.0 / 3.0) * C_OX * mos.w * mos.l + C_OV * mos.w
+    cgd = C_OV * mos.w
+    cdb = C_J * mos.w / max(mos.fingers, 1)
+
+    k_boltzmann_t = 4.142e-21  # 4kT at 300K
+    thermal = k_boltzmann_t * GAMMA_NOISE * gm
+    flicker = K_FLICKER * gm * gm / (C_OX * mos.w * mos.l)
+    return MosSmallSignal(
+        gm=gm, gds=gds, cgs=cgs, cgd=cgd, cdb=cdb,
+        thermal_noise_psd=thermal, flicker_coeff=flicker,
+    )

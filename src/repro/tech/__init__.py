@@ -1,0 +1,22 @@
+"""Technology substrate: layer stack, design rules, RC constants.
+
+This replaces the proprietary TSMC 40nm PDK with a generic 40nm-class
+technology (see DESIGN.md, section 2).  The routing, extraction, and
+simulation layers consume only this interface.
+"""
+
+from repro.tech.layers import Direction, Layer, LayerPurpose, LayerStack
+from repro.tech.rules import DesignRules, SpacingRule, WidthRule
+from repro.tech.technology import Technology, generic_40nm
+
+__all__ = [
+    "Direction",
+    "Layer",
+    "LayerPurpose",
+    "LayerStack",
+    "DesignRules",
+    "SpacingRule",
+    "WidthRule",
+    "Technology",
+    "generic_40nm",
+]

@@ -1,0 +1,107 @@
+"""Technology bundle and the generic 40nm-class instance.
+
+The paper evaluates under TSMC 40nm.  That PDK is proprietary, so
+:func:`generic_40nm` builds an open 4-metal stack with constants of 40nm-class
+magnitude (sheet R a fraction of an ohm/sq on thick metals to a few ohm/sq on
+M1, wire capacitance ~0.2 fF/um).  See DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.layers import Direction, Layer, LayerStack, Via
+from repro.tech.rules import DesignRules, SpacingRule, WidthRule
+
+
+@dataclass
+class Technology:
+    """A complete technology: layer stack plus design rules.
+
+    Attributes:
+        name: technology name.
+        stack: metal layer stack with vias.
+        rules: design rule deck, aligned layer-by-layer with the stack.
+    """
+
+    name: str
+    stack: LayerStack
+    rules: DesignRules
+
+    def __post_init__(self) -> None:
+        if self.stack.num_layers != self.rules.num_layers:
+            raise ValueError(
+                f"stack has {self.stack.num_layers} layers but rules cover "
+                f"{self.rules.num_layers}"
+            )
+
+    @property
+    def num_layers(self) -> int:
+        return self.stack.num_layers
+
+    @property
+    def grid_pitch(self) -> float:
+        return self.rules.grid_pitch
+
+    def layer(self, index: int) -> Layer:
+        return self.stack.layer(index)
+
+
+def generic_40nm(num_layers: int = 4) -> Technology:
+    """Build the generic 40nm-class technology used by all benchmarks.
+
+    Args:
+        num_layers: number of routing metals (2..6).  The paper's designs
+            route on the lower metals; 4 is the default.
+
+    Returns:
+        A :class:`Technology` with alternating preferred directions
+        (M1 horizontal, M2 vertical, ...), 0.2um routing pitch, and
+        RC constants of 40nm-class magnitude.
+    """
+    if not 2 <= num_layers <= 6:
+        raise ValueError(f"num_layers must be in [2, 6], got {num_layers}")
+
+    # Lower metals are thin (high sheet R); upper metals are progressively
+    # thicker.  Capacitance to substrate drops with height while coupling
+    # stays comparable.
+    sheet_r = [2.0, 1.2, 0.8, 0.4, 0.2, 0.1]
+    area_c = [0.10e-15, 0.08e-15, 0.06e-15, 0.05e-15, 0.04e-15, 0.03e-15]
+    fringe_c = [0.04e-15, 0.04e-15, 0.035e-15, 0.03e-15, 0.03e-15, 0.025e-15]
+    coup_c = [0.08e-15, 0.08e-15, 0.07e-15, 0.06e-15, 0.05e-15, 0.05e-15]
+
+    layers = []
+    for i in range(num_layers):
+        direction = Direction.HORIZONTAL if i % 2 == 0 else Direction.VERTICAL
+        layers.append(
+            Layer(
+                name=f"M{i + 1}",
+                index=i,
+                direction=direction,
+                sheet_resistance=sheet_r[i],
+                area_cap=area_c[i],
+                fringe_cap=fringe_c[i],
+                coupling_cap=coup_c[i],
+                min_width=0.06,
+                min_spacing=0.06,
+            )
+        )
+    vias = [
+        Via(name=f"V{i + 1}{i + 2}", lower=i, resistance=4.0, cap=0.02e-15)
+        for i in range(num_layers - 1)
+    ]
+    stack = LayerStack(layers=layers, vias=vias)
+
+    rules = DesignRules(
+        width_rules=[
+            WidthRule(layer=i, min_width=0.06, default_width=0.08)
+            for i in range(num_layers)
+        ],
+        spacing_rules=[
+            SpacingRule(layer=i, min_spacing=0.06) for i in range(num_layers)
+        ],
+        grid_pitch=0.2,
+        via_enclosure=0.02,
+        max_via_stack=num_layers,
+    )
+    return Technology(name="generic-40nm", stack=stack, rules=rules)

@@ -1,0 +1,52 @@
+"""Unit helpers used across the library.
+
+Internal geometric unit is the micrometer (um).  Electrical quantities use
+SI units (ohm, farad, volt, hertz) unless a function name says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Geometric units ------------------------------------------------------------
+
+NM = 1e-3  # nanometers expressed in micrometers
+UM = 1.0
+MM = 1e3
+
+# Electrical shorthands ------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+
+
+def db(ratio: float) -> float:
+    """Convert a voltage ratio to decibels (20*log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"dB undefined for non-positive ratio {ratio!r}")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db(decibels: float) -> float:
+    """Convert decibels back to a voltage ratio."""
+    return 10.0 ** (decibels / 20.0)
+
+
+def db_power(ratio: float) -> float:
+    """Convert a power ratio to decibels (10*log10)."""
+    if ratio <= 0.0:
+        raise ValueError(f"dB undefined for non-positive ratio {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` to the closed interval [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty interval: lo={lo} > hi={hi}")
+    return max(lo, min(hi, value))

@@ -1,0 +1,73 @@
+"""Shared fixtures: expensive objects are session-scoped and read-only.
+
+Tests that mutate a grid or placement must build their own (see
+``fresh_grid``); the session-scoped fixtures exist for read-only checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extraction import extract
+from repro.graph import build_hetero_graph
+from repro.netlist import build_benchmark
+from repro.placement import place_benchmark
+from repro.router import IterativeRouter, RoutingGrid
+from repro.tech import generic_40nm
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return generic_40nm()
+
+
+@pytest.fixture(scope="session")
+def ota1():
+    return build_benchmark("OTA1")
+
+
+@pytest.fixture(scope="session")
+def ota3():
+    return build_benchmark("OTA3")
+
+
+@pytest.fixture(scope="session")
+def ota1_placement(ota1):
+    return place_benchmark(ota1, variant="A", seed=0, iterations=200)
+
+
+@pytest.fixture(scope="session")
+def ota1_grid(ota1_placement, tech):
+    """A pristine (unrouted) grid; do not mutate in tests."""
+    return RoutingGrid(ota1_placement, tech)
+
+
+@pytest.fixture()
+def fresh_grid(ota1_placement, tech):
+    """A fresh grid per test, safe to route on."""
+    return RoutingGrid(ota1_placement, tech)
+
+
+@pytest.fixture(scope="session")
+def ota1_routed(ota1_placement, tech):
+    """A routed OTA1 with its grid: (result, grid)."""
+    grid = RoutingGrid(ota1_placement, tech)
+    result = IterativeRouter(grid).route_all()
+    return result, grid
+
+
+@pytest.fixture(scope="session")
+def ota1_parasitics(ota1_routed, tech):
+    result, grid = ota1_routed
+    return extract(result, grid, tech)
+
+
+@pytest.fixture(scope="session")
+def ota1_graph(ota1_grid):
+    return build_hetero_graph(ota1_grid)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

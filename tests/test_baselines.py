@@ -1,0 +1,83 @@
+"""Tests for the MagicalRoute and GeniusRoute baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GeniusRoute, GeniusRouteConfig, route_magical
+from repro.core import DatasetConfig, generate_dataset
+
+
+@pytest.fixture(scope="module")
+def small_database(ota1, ota1_placement, tech):
+    return generate_dataset(
+        ota1, ota1_placement, tech, DatasetConfig(num_samples=5, seed=0))
+
+
+class TestMagicalRoute:
+    def test_routes_successfully(self, ota1, ota1_placement, tech):
+        sample, runtime = route_magical(ota1, ota1_placement, tech)
+        assert sample.result.success
+        assert runtime > 0
+
+    def test_uses_neutral_guidance(self, ota1, ota1_placement, tech):
+        sample, _ = route_magical(ota1, ota1_placement, tech)
+        assert sample.guidance.vectors == {}  # neutral: no per-pin vectors
+
+    def test_metrics_reasonable(self, ota1, ota1_placement, tech):
+        sample, _ = route_magical(ota1, ota1_placement, tech)
+        assert sample.metrics.gain_db > 10.0
+        assert sample.metrics.cmrr_db > 20.0
+
+
+class TestGeniusRoute:
+    @pytest.fixture(scope="class")
+    def genius(self, ota1, ota1_placement, tech, small_database):
+        g = GeniusRoute(ota1, ota1_placement, tech,
+                        config=GeniusRouteConfig(epochs=10, seed=0))
+        g.fit(small_database)
+        return g
+
+    def test_rasterize_shape_and_range(self, genius, small_database):
+        flat = genius.rasterize(small_database.samples[0].result)
+        size = genius.config.map_size
+        assert flat.shape == (size * size,)
+        assert flat.min() >= 0.0 and flat.max() <= 1.0
+
+    def test_fit_records_training_time(self, genius):
+        assert genius.training_seconds > 0.0
+
+    def test_generate_map_in_unit_range(self, genius, small_database):
+        guide_map = genius.generate_map(small_database)
+        assert guide_map.shape == (genius.config.map_size,) * 2
+        assert (guide_map >= 0.0).all() and (guide_map <= 1.0).all()
+
+    def test_guidance_is_isotropic(self, genius, small_database):
+        """The 2D map carries no direction info: per-AP C is uniform."""
+        guidance = genius.generate_guidance(small_database)
+        for vec in guidance.vectors.values():
+            assert vec[0] == vec[1] == vec[2]
+
+    def test_guidance_varies_across_aps(self, genius, small_database):
+        guidance = genius.generate_guidance(small_database)
+        values = {float(v[0]) for v in guidance.vectors.values()}
+        assert len(values) > 1, "map should differentiate regions"
+
+    def test_run_routes_and_times(self, genius, small_database):
+        sample, runtime = genius.run(small_database)
+        assert sample.result.success
+        assert runtime > 0
+
+    def test_generate_before_fit_raises(self, ota1, ota1_placement, tech,
+                                        small_database):
+        fresh = GeniusRoute(ota1, ota1_placement, tech)
+        with pytest.raises(RuntimeError):
+            fresh.generate_map(small_database)
+
+    def test_deterministic(self, ota1, ota1_placement, tech, small_database):
+        maps = []
+        for _ in range(2):
+            g = GeniusRoute(ota1, ota1_placement, tech,
+                            config=GeniusRouteConfig(epochs=5, seed=7))
+            g.fit(small_database)
+            maps.append(g.generate_map(small_database))
+        np.testing.assert_array_equal(maps[0], maps[1])

@@ -1,0 +1,62 @@
+"""Detail tests for evaluation formatting and scale presets."""
+
+import pytest
+
+from repro.core.pipeline import AnalogFoldConfig
+from repro.eval.compare import SCALES, EvalScale
+from repro.eval.runtime import STAGE_LABELS
+from repro.eval.tables import _fmt
+
+
+class TestFormatting:
+    def test_fmt_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_fmt_large_uses_compact(self):
+        assert len(_fmt(123456.789)) <= 9
+
+    def test_fmt_small_uses_compact(self):
+        text = _fmt(0.000123)
+        assert "e" in text or text.startswith("0.000123")
+
+    def test_fmt_mid_range(self):
+        assert _fmt(42.1234) == "42.12"
+
+
+class TestScales:
+    def test_scales_strictly_ordered(self):
+        order = ["smoke", "fast", "full", "paper"]
+        samples = [SCALES[name].dataset_samples for name in order]
+        assert samples == sorted(samples)
+        epochs = [SCALES[name].train_epochs for name in order]
+        assert epochs == sorted(epochs)
+
+    @pytest.mark.parametrize("name", sorted(SCALES))
+    def test_analogfold_config_consistent(self, name):
+        scale = SCALES[name]
+        config = scale.analogfold_config(seed=7)
+        assert isinstance(config, AnalogFoldConfig)
+        assert config.dataset.num_samples == scale.dataset_samples
+        assert config.training.epochs == scale.train_epochs
+        assert config.relaxation.n_restarts == scale.relax_restarts
+        assert config.relaxation.n_derive <= config.relaxation.pool_size
+
+    def test_custom_scale(self):
+        scale = EvalScale("custom", dataset_samples=5, train_epochs=2,
+                          relax_restarts=2, relax_pool=2,
+                          placement_iterations=10)
+        config = scale.analogfold_config()
+        assert config.dataset.num_samples == 5
+
+
+class TestRuntimeLabels:
+    def test_all_pipeline_stages_labeled(self):
+        pipeline_stages = {"construct_database", "model_training",
+                           "guide_generation", "guided_routing"}
+        assert pipeline_stages <= set(STAGE_LABELS)
+
+    def test_labels_match_paper_categories(self):
+        labels = set(STAGE_LABELS.values())
+        assert "Model Training" in labels
+        assert "Placement" in labels
+        assert any("Guided Detailed Routing" in label for label in labels)

@@ -1,0 +1,164 @@
+"""Tests for parasitic extraction (R, C, coupling)."""
+
+import numpy as np
+import pytest
+
+from repro.extraction import (
+    extract,
+    extract_schematic,
+    path_resistance,
+    segment_capacitance,
+    segment_resistance,
+)
+from repro.extraction.coupling import extract_coupling, lateral_coupling, vertical_coupling
+from repro.router import IterativeRouter, RoutingGrid
+
+
+class TestSegmentRules:
+    def test_planar_resistance_positive(self, tech):
+        r = segment_resistance(tech, (0, 0, 0), (1, 0, 0), 0.5)
+        assert r > 0
+
+    def test_via_resistance_used_for_layer_change(self, tech):
+        r = segment_resistance(tech, (0, 0, 0), (0, 0, 1), 0.5)
+        assert r == tech.stack.via_between(0, 1).resistance
+
+    def test_upper_layers_less_resistive(self, tech):
+        r_m1 = segment_resistance(tech, (0, 0, 0), (1, 0, 0), 0.5)
+        r_m4 = segment_resistance(tech, (0, 0, 3), (1, 0, 3), 0.5)
+        assert r_m4 < r_m1
+
+    def test_capacitance_positive_and_layer_dependent(self, tech):
+        c_m1 = segment_capacitance(tech, (0, 0, 0), 0.5)
+        c_m4 = segment_capacitance(tech, (0, 0, 3), 0.5)
+        assert c_m1 > 0 and c_m4 > 0
+        assert c_m4 < c_m1  # higher metal couples less to substrate
+
+
+class TestPathResistance:
+    def test_direct_path(self):
+        adjacency = {
+            (0, 0, 0): {(1, 0, 0): 2.0},
+            (1, 0, 0): {(0, 0, 0): 2.0, (2, 0, 0): 3.0},
+            (2, 0, 0): {(1, 0, 0): 3.0},
+        }
+        r = path_resistance(None, adjacency, (0, 0, 0), (2, 0, 0))
+        assert r == pytest.approx(5.0)
+
+    def test_same_cell_zero(self):
+        assert path_resistance(None, {}, (0, 0, 0), (0, 0, 0)) == 0.0
+
+    def test_disconnected_is_inf(self):
+        adjacency = {(0, 0, 0): {}, (5, 5, 0): {}}
+        assert path_resistance(None, adjacency, (0, 0, 0), (5, 5, 0)) == float("inf")
+
+    def test_picks_cheapest_branch(self):
+        a, b, c = (0, 0, 0), (1, 0, 0), (2, 0, 0)
+        adjacency = {
+            a: {b: 10.0, c: 1.0},
+            b: {a: 10.0, c: 1.0},
+            c: {a: 1.0, b: 1.0},
+        }
+        assert path_resistance(None, adjacency, a, b) == pytest.approx(2.0)
+
+
+class TestCoupling:
+    def test_lateral_scales_with_weight(self, tech):
+        near = lateral_coupling(tech, 0, 0.5, 1.0)
+        far = lateral_coupling(tech, 0, 0.5, 0.5)
+        assert near == pytest.approx(2.0 * far)
+
+    def test_vertical_positive(self, tech):
+        assert vertical_coupling(tech, 0, 0.5) > 0
+
+    def test_coupling_keys_sorted(self, ota1_routed, tech):
+        result, grid = ota1_routed
+        coupling = extract_coupling(result, grid, tech)
+        for a, b in coupling:
+            assert a < b
+
+    def test_no_self_coupling(self, ota1_routed, tech):
+        result, grid = ota1_routed
+        coupling = extract_coupling(result, grid, tech)
+        assert all(a != b for a, b in coupling)
+
+    def test_all_coupling_positive(self, ota1_routed, tech):
+        result, grid = ota1_routed
+        coupling = extract_coupling(result, grid, tech)
+        assert coupling, "routed layout should have some coupling"
+        assert all(v > 0 for v in coupling.values())
+
+
+class TestExtract:
+    def test_every_routed_net_extracted(self, ota1_routed, ota1_parasitics):
+        result, _ = ota1_routed
+        assert set(ota1_parasitics.nets) == set(result.routes)
+
+    def test_terminal_resistances_nonnegative_finite(self, ota1_parasitics):
+        for para in ota1_parasitics.nets.values():
+            for r in para.terminal_resistance.values():
+                assert 0.0 <= r < 1e7
+
+    def test_ground_cap_scales_with_wirelength(self, ota1_routed, ota1_parasitics):
+        result, _ = ota1_routed
+        wl = {n: r.wirelength() for n, r in result.routes.items()}
+        caps = {n: p.ground_cap for n, p in ota1_parasitics.nets.items()}
+        longest = max(wl, key=wl.get)
+        shortest = min((n for n in wl if wl[n] > 0), key=wl.get)
+        assert caps[longest] > caps[shortest]
+
+    def test_symmetric_pair_mismatch_small_when_mirrored(
+        self, ota1_routed, ota1_parasitics
+    ):
+        result, grid = ota1_routed
+        circuit = grid.placement.circuit
+        for pair in circuit.symmetry_pairs:
+            route_b = result.routes.get(pair.net_b)
+            if route_b is None or not route_b.symmetric_ok:
+                continue
+            mismatch = ota1_parasitics.resistance_mismatch(pair.net_a, pair.net_b)
+            total = ota1_parasitics.nets[pair.net_a].total_resistance
+            assert mismatch <= 0.05 * max(total, 1.0) + 1e-6
+
+    def test_resistance_mismatch_missing_net_is_zero(self, ota1_parasitics):
+        assert ota1_parasitics.resistance_mismatch("NET1L", "GHOST") == 0.0
+
+    def test_net_coupling_sums_pairs(self, ota1_parasitics):
+        net = "NET1L"
+        expected = sum(v for (a, b), v in ota1_parasitics.coupling.items()
+                       if net in (a, b))
+        assert ota1_parasitics.net_coupling(net) == pytest.approx(expected)
+
+    def test_schematic_extraction_is_zero(self, ota1):
+        para = extract_schematic(list(ota1.nets))
+        for net_para in para.nets.values():
+            assert net_para.ground_cap == 0.0
+            assert net_para.terminal_resistance == {}
+        assert para.coupling == {}
+
+    def test_asymmetric_routing_increases_mismatch(self, ota1_placement, tech, rng):
+        """Random guidance that breaks mirroring should raise mismatch on
+        at least one symmetric pair compared to neutral routing."""
+        from repro.router.guidance import random_guidance
+
+        grid_n = RoutingGrid(ota1_placement, tech)
+        neutral = extract(IterativeRouter(grid_n).route_all(), grid_n, tech)
+        keys = [ap.key for aps in grid_n.access_points.values() for ap in aps]
+
+        worst_neutral = worst_random = 0.0
+        circuit = ota1_placement.circuit
+        for seed in range(3):
+            grid_r = RoutingGrid(ota1_placement, tech)
+            guided = IterativeRouter(
+                grid_r, random_guidance(keys, np.random.default_rng(seed))
+            ).route_all()
+            para_r = extract(guided, grid_r, tech)
+            for pair in circuit.symmetry_pairs:
+                worst_random = max(
+                    worst_random,
+                    para_r.resistance_mismatch(pair.net_a, pair.net_b))
+        for pair in circuit.symmetry_pairs:
+            worst_neutral = max(
+                worst_neutral,
+                neutral.resistance_mismatch(pair.net_a, pair.net_b))
+        assert worst_random >= worst_neutral

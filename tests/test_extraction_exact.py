@@ -1,0 +1,114 @@
+"""Exact-value extraction tests on hand-built routes."""
+
+import pytest
+
+from repro.extraction import extract
+from repro.netlist import Circuit, MOSFET, MOSType, NetType
+from repro.placement.layout import PlacedDevice, Placement
+from repro.router import RoutingGrid
+from repro.router.guidance import AccessPoint
+from repro.router.result import NetRoute, RoutingResult
+from repro.tech import generic_40nm
+
+
+@pytest.fixture()
+def straight_wire_setup():
+    """Two devices, one net, and a hand-built straight 10-cell route."""
+    circuit = Circuit(name="wire")
+    circuit.add_device(MOSFET(name="A", mos_type=MOSType.NMOS))
+    circuit.add_device(MOSFET(name="B", mos_type=MOSType.NMOS))
+    net = circuit.new_net("N", NetType.SIGNAL)
+    net.connect("A", "D").connect("B", "D")
+    gnd = circuit.new_net("VSS", NetType.GROUND)
+    gnd.connect("A", "S").connect("B", "S")
+    g = circuit.new_net("G", NetType.BIAS)
+    g.connect("A", "G").connect("B", "G")
+    circuit.validate()
+
+    placement = Placement(circuit=circuit, symmetry_axis=5.0)
+    placement.positions["A"] = PlacedDevice("A", 0.0, 0.0)
+    placement.positions["B"] = PlacedDevice("B", 8.0, 0.0)
+    tech = generic_40nm()
+    grid = RoutingGrid(placement, tech, pitch=0.5)
+    return circuit, grid, tech
+
+
+def _manual_route(grid, net_name, cells):
+    aps = grid.access_points[net_name]
+    route = NetRoute(net=net_name, access_points=aps, paths=[cells])
+    return route
+
+
+class TestExactValues:
+    def test_straight_m2_wire_resistance(self, straight_wire_setup):
+        _, grid, tech = straight_wire_setup
+        # 11 cells on layer 1 (M2): 10 unit segments of pitch 0.5um at
+        # default width 0.08um, sheet 1.2 ohm/sq.
+        cells = [(i, 5, 1) for i in range(2, 13)]
+        route = NetRoute(net="N", access_points=[], paths=[cells])
+        # Fake APs at the two ends so terminal resistance is the full path.
+        aps = grid.access_points["N"]
+        route.access_points = [
+            AccessPoint(net="N", device=aps[0].device, pin=aps[0].pin,
+                        cell=cells[0], position=(0, 0)),
+            AccessPoint(net="N", device=aps[1].device, pin=aps[1].pin,
+                        cell=cells[-1], position=(0, 0)),
+        ]
+        result = RoutingResult(routes={"N": route})
+        network = extract(result, grid, tech)
+
+        r_segment = 1.2 * 0.5 / 0.08  # sheet * length / width = 7.5 ohm
+        para = network.nets["N"]
+        assert para.total_resistance == pytest.approx(10 * r_segment)
+        # Root is the first AP: terminal 0 at 0 ohm, terminal 1 at full path.
+        values = sorted(para.terminal_resistance.values())
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(10 * r_segment)
+
+    def test_straight_wire_ground_cap(self, straight_wire_setup):
+        _, grid, tech = straight_wire_setup
+        cells = [(i, 5, 1) for i in range(2, 13)]
+        aps = grid.access_points["N"]
+        route = NetRoute(net="N", access_points=list(aps[:1]), paths=[cells])
+        result = RoutingResult(routes={"N": route})
+        network = extract(result, grid, tech)
+        layer = tech.layer(1)
+        per_cell = layer.area_cap * 0.5 * 0.08 + layer.fringe_cap * 2 * 0.5
+        assert network.nets["N"].ground_cap == pytest.approx(11 * per_cell)
+
+    def test_via_adds_via_resistance(self, straight_wire_setup):
+        _, grid, tech = straight_wire_setup
+        cells = [(5, 5, 1), (5, 5, 2)]
+        route = NetRoute(net="N", access_points=[], paths=[cells])
+        result = RoutingResult(routes={"N": route})
+        network = extract(result, grid, tech)
+        assert network.nets["N"].total_resistance == pytest.approx(
+            tech.stack.via_between(1, 2).resistance)
+
+    def test_parallel_wires_couple_exactly(self, straight_wire_setup):
+        _, grid, tech = straight_wire_setup
+        run = 8
+        cells_a = [(i, 5, 1) for i in range(2, 2 + run)]
+        cells_b = [(i, 6, 1) for i in range(2, 2 + run)]
+        result = RoutingResult(routes={
+            "N": NetRoute(net="N", access_points=[], paths=[cells_a]),
+            "G": NetRoute(net="G", access_points=[], paths=[cells_b]),
+        })
+        network = extract(result, grid, tech)
+        layer = tech.layer(1)
+        spacing = 0.5 - 0.08
+        # Adjacent (weight 1) for `run` cell pairs, plus distance-2 pairs
+        # (weight 0.5) do not exist here because the wires are 1 apart in y
+        # and offsets (0, 2) would need a third wire.
+        per_pair = layer.coupling_cap * 0.5 * (layer.min_spacing / spacing)
+        expected = run * per_pair
+        assert network.coupling[("G", "N")] == pytest.approx(expected, rel=1e-9)
+
+    def test_crossing_wires_couple_vertically(self, straight_wire_setup):
+        _, grid, tech = straight_wire_setup
+        result = RoutingResult(routes={
+            "N": NetRoute(net="N", access_points=[], paths=[[(5, 5, 1)]]),
+            "G": NetRoute(net="G", access_points=[], paths=[[(5, 5, 2)]]),
+        })
+        network = extract(result, grid, tech)
+        assert network.coupling[("G", "N")] > 0

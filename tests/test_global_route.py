@@ -1,0 +1,90 @@
+"""Tests for probabilistic global routing / congestion estimation."""
+
+import numpy as np
+import pytest
+
+from repro.router import IterativeRouter, RoutingGrid
+from repro.router.global_route import (
+    GlobalRouteConfig,
+    congestion_map,
+    hotspots,
+    normalized_congestion,
+    seed_history_from_congestion,
+)
+
+
+class TestCongestionMap:
+    def test_shape(self, ota1_grid):
+        demand = congestion_map(ota1_grid)
+        assert demand.shape == (ota1_grid.nx, ota1_grid.ny)
+
+    def test_nonnegative(self, ota1_grid):
+        assert (congestion_map(ota1_grid) >= 0).all()
+
+    def test_demand_inside_net_bboxes(self, ota1_grid):
+        demand = congestion_map(ota1_grid)
+        # Every net bbox cell with hpwl > 0 gets demand; the union of
+        # bboxes must carry all of the mass.
+        mask = np.zeros_like(demand, dtype=bool)
+        for aps in ota1_grid.access_points.values():
+            if len(aps) < 2:
+                continue
+            xs = [ap.cell[0] for ap in aps]
+            ys = [ap.cell[1] for ap in aps]
+            mask[min(xs):max(xs) + 1, min(ys):max(ys) + 1] = True
+        assert demand[~mask].sum() == 0.0
+
+    def test_demand_weight_scales_linearly(self, ota1_grid):
+        base = congestion_map(ota1_grid, GlobalRouteConfig(demand_weight=1.0))
+        double = congestion_map(ota1_grid, GlobalRouteConfig(demand_weight=2.0))
+        np.testing.assert_allclose(double, 2.0 * base)
+
+    def test_normalized_in_unit_range(self, ota1_grid):
+        normalized = normalized_congestion(ota1_grid)
+        assert normalized.max() == pytest.approx(1.0)
+        assert normalized.min() >= 0.0
+
+
+class TestHotspots:
+    def test_hotspots_are_peak_cells(self, ota1_grid):
+        demand = congestion_map(ota1_grid)
+        spots = hotspots(ota1_grid)
+        assert spots
+        peak = demand.max()
+        assert any(demand[x, y] == peak for x, y in spots)
+
+    def test_percentile_controls_count(self, ota1_grid):
+        many = hotspots(ota1_grid, GlobalRouteConfig(hotspot_percentile=50.0))
+        few = hotspots(ota1_grid, GlobalRouteConfig(hotspot_percentile=99.0))
+        assert len(few) <= len(many)
+
+
+class TestHistorySeeding:
+    def test_seeds_all_layers(self, fresh_grid):
+        assert fresh_grid.history.max() == 0.0
+        normalized = seed_history_from_congestion(fresh_grid)
+        assert fresh_grid.history.max() > 0
+        for layer in range(fresh_grid.num_layers):
+            np.testing.assert_allclose(
+                fresh_grid.history[:, :, layer],
+                GlobalRouteConfig().history_scale * normalized)
+
+    def test_routing_still_succeeds_with_seeded_history(
+        self, ota1_placement, tech
+    ):
+        grid = RoutingGrid(ota1_placement, tech)
+        seed_history_from_congestion(grid)
+        result = IterativeRouter(grid).route_all()
+        assert result.success
+        assert result.overlaps() == {}
+
+    def test_seeded_routing_diverges_from_unseeded(self, ota1_placement, tech):
+        plain_grid = RoutingGrid(ota1_placement, tech)
+        plain = IterativeRouter(plain_grid).route_all()
+        seeded_grid = RoutingGrid(ota1_placement, tech)
+        seed_history_from_congestion(
+            seeded_grid, GlobalRouteConfig(history_scale=20.0))
+        seeded = IterativeRouter(seeded_grid).route_all()
+        plain_cells = {n: r.cells() for n, r in plain.routes.items()}
+        seeded_cells = {n: r.cells() for n, r in seeded.routes.items()}
+        assert plain_cells != seeded_cells

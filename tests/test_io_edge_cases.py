@@ -1,0 +1,59 @@
+"""Additional IO edge cases and CLI guidance plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import save_guidance
+from repro.io.spice import circuit_to_spice, spice_to_circuit
+from repro.netlist.extensions import build_folded_cascode
+from repro.router.guidance import RoutingGuidance
+
+
+class TestSpiceEdgeCases:
+    def test_folded_cascode_roundtrip(self):
+        original = build_folded_cascode()
+        restored = spice_to_circuit(circuit_to_spice(original))
+        assert restored.stats() == original.stats()
+        assert len(restored.symmetry_pairs) == len(original.symmetry_pairs)
+
+    def test_mosfet_without_optional_fields(self):
+        text = (
+            "MM0 d g s b nch W=2.0u L=0.06u\n"
+            "RRA d 0 1000\n"
+            "RRB g 0 1000\n"
+            "RRC s 0 1000\n"
+            "RRD b 0 1000\n"
+            ".END\n"
+        )
+        circuit = spice_to_circuit(text)
+        mos = circuit.device("M0")
+        assert mos.fingers == 1
+        assert not mos.is_bias_device
+
+    def test_float_suffix_parsing(self):
+        text = "CCA a 0 1e-12\nRRA a 0 1e3\n.END\n"
+        circuit = spice_to_circuit(text)
+        assert circuit.device("CA").value == pytest.approx(1e-12)
+        assert circuit.device("RA").value == pytest.approx(1e3)
+
+    def test_topology_preserved(self):
+        original = build_folded_cascode()
+        restored = spice_to_circuit(circuit_to_spice(original))
+        assert restored.topology == original.topology
+
+
+class TestCliGuidancePlumbing:
+    def test_route_with_guidance_file(self, tmp_path, capsys):
+        place_file = tmp_path / "p.json"
+        main(["place", "OTA1", "--iterations", "40", "--out", str(place_file)])
+
+        guidance = RoutingGuidance()
+        guidance.set(("MN_IN_L", "D"), np.array([0.3, 2.0, 1.0]))
+        guide_file = tmp_path / "g.json"
+        save_guidance(guidance, guide_file)
+
+        code = main(["route", "OTA1", "--placement", str(place_file),
+                     "--guidance", str(guide_file)])
+        assert code == 0
+        assert "success=True" in capsys.readouterr().out

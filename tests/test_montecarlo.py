@@ -1,0 +1,53 @@
+"""Tests for Monte-Carlo mismatch analysis."""
+
+import pytest
+
+from repro.extraction import extract_schematic
+from repro.simulation.montecarlo import monte_carlo
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def schematic_mc(self, ota1):
+        para = extract_schematic(list(ota1.nets))
+        return monte_carlo(ota1, para, num_draws=8, mismatch_sigma=5e-7)
+
+    def test_draw_count(self, schematic_mc):
+        assert schematic_mc.num_draws == 8
+        assert len(schematic_mc.cmrrs_db) == 8
+
+    def test_draws_differ(self, schematic_mc):
+        assert len(set(schematic_mc.offsets_uv)) > 1
+        assert len(set(schematic_mc.cmrrs_db)) > 1
+
+    def test_statistics_consistent(self, schematic_mc):
+        assert schematic_mc.offset_sigma_uv() >= 0
+        assert schematic_mc.cmrr_worst_db() <= schematic_mc.cmrr_median_db()
+
+    def test_restores_circuit_name(self, ota1):
+        para = extract_schematic(list(ota1.nets))
+        monte_carlo(ota1, para, num_draws=2)
+        assert ota1.name == "OTA1"
+
+    def test_deterministic(self, ota1):
+        para = extract_schematic(list(ota1.nets))
+        a = monte_carlo(ota1, para, num_draws=3)
+        b = monte_carlo(ota1, para, num_draws=3)
+        assert a.offsets_uv == b.offsets_uv
+        assert a.cmrrs_db == b.cmrrs_db
+
+    def test_larger_sigma_larger_spread(self, ota1):
+        para = extract_schematic(list(ota1.nets))
+        small = monte_carlo(ota1, para, num_draws=6, mismatch_sigma=1e-8)
+        large = monte_carlo(ota1, para, num_draws=6, mismatch_sigma=1e-5)
+        assert large.offset_sigma_uv() > small.offset_sigma_uv()
+
+    def test_layout_raises_offset_floor(self, ota1, ota1_parasitics):
+        schem = monte_carlo(ota1, extract_schematic(list(ota1.nets)),
+                            num_draws=4)
+        layout = monte_carlo(ota1, ota1_parasitics, num_draws=4)
+        assert layout.offset_mean_uv() >= schem.offset_mean_uv()
+
+    def test_invalid_draws(self, ota1):
+        with pytest.raises(ValueError):
+            monte_carlo(ota1, extract_schematic(list(ota1.nets)), num_draws=0)

@@ -1,0 +1,132 @@
+"""Tests for placement geometry and the SA placer."""
+
+import pytest
+
+from repro.netlist import build_benchmark
+from repro.placement import (
+    NET_WEIGHT_VARIANTS,
+    Orientation,
+    PlacedDevice,
+    Placement,
+    Placer,
+    place_benchmark,
+)
+
+
+class TestPlacementGeometry:
+    def test_pin_position_r0(self, ota1, ota1_placement):
+        device = ota1.device("MN_IN_L")
+        placed = ota1_placement.positions["MN_IN_L"]
+        pin = device.pin("G")
+        x, y = ota1_placement.pin_position("MN_IN_L", "G")
+        assert x == pytest.approx(placed.x + pin.offset[0])
+        assert y == pytest.approx(placed.y + pin.offset[1])
+
+    def test_pin_position_mirrored(self, ota1):
+        placement = Placement(circuit=ota1)
+        device = ota1.device("MN_IN_L")
+        placement.positions["MN_IN_L"] = PlacedDevice(
+            name="MN_IN_L", x=0.0, y=0.0, orientation=Orientation.MY)
+        gx, _ = placement.pin_position("MN_IN_L", "G")
+        assert gx == pytest.approx(device.width - device.pin("G").offset[0])
+
+    def test_bounding_box_contains_all_devices(self, ota1_placement):
+        x0, y0, x1, y1 = ota1_placement.bounding_box()
+        for name in ota1_placement.positions:
+            bx0, by0, bx1, by1 = ota1_placement.device_box(name)
+            assert x0 <= bx0 and bx1 <= x1
+            assert y0 <= by0 and by1 <= y1
+
+    def test_empty_placement_bounding_box_raises(self, ota1):
+        with pytest.raises(ValueError):
+            Placement(circuit=ota1).bounding_box()
+
+    def test_hpwl_zero_for_single_pin(self, ota1, ota1_placement):
+        vinp = ota1.net("VINP")
+        assert vinp.degree == 1
+        assert ota1_placement.hpwl(vinp) == 0.0
+
+    def test_hpwl_positive_for_multi_pin(self, ota1, ota1_placement):
+        assert ota1_placement.hpwl(ota1.net("NET1L")) > 0.0
+
+    def test_weighted_hpwl_respects_weights(self, ota1, ota1_placement):
+        base = ota1_placement.total_hpwl()
+        doubled = ota1_placement.total_hpwl(
+            {n: 2.0 for n in ota1.nets})
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_overlap_detection(self, ota1):
+        placement = Placement(circuit=ota1)
+        placement.positions["MN_IN_L"] = PlacedDevice("MN_IN_L", 0.0, 0.0)
+        placement.positions["MN_IN_R"] = PlacedDevice("MN_IN_R", 0.1, 0.1)
+        assert ("MN_IN_L", "MN_IN_R") in placement.overlapping_pairs()
+        assert not placement.is_legal()
+
+
+class TestPlacer:
+    @pytest.mark.parametrize("variant", sorted(NET_WEIGHT_VARIANTS))
+    def test_all_variants_legal(self, ota1, variant):
+        placement = place_benchmark(ota1, variant=variant, iterations=100)
+        assert placement.is_legal()
+
+    @pytest.mark.parametrize("name", ["OTA1", "OTA3"])
+    def test_symmetry_exact(self, name):
+        circuit = build_benchmark(name)
+        placement = place_benchmark(circuit, variant="A", iterations=100)
+        assert placement.symmetry_error() < 1e-9
+
+    def test_all_devices_placed(self, ota1):
+        placement = place_benchmark(ota1, variant="A", iterations=50)
+        assert set(placement.positions) == set(ota1.devices)
+
+    def test_right_of_pair_is_mirrored_orientation(self, ota1):
+        placement = place_benchmark(ota1, variant="A", iterations=50)
+        assert placement.positions["MN_IN_R"].orientation is Orientation.MY
+        assert placement.positions["MN_IN_L"].orientation is Orientation.R0
+
+    def test_variants_give_different_placements(self, ota1):
+        a = place_benchmark(ota1, variant="A", iterations=200)
+        b = place_benchmark(ota1, variant="B", iterations=200)
+        moved = [
+            n for n in a.positions
+            if (a.positions[n].x, a.positions[n].y)
+            != (b.positions[n].x, b.positions[n].y)
+        ]
+        assert moved, "variants A and B should differ"
+
+    def test_seeds_give_different_placements(self, ota1):
+        a = place_benchmark(ota1, variant="A", seed=0, iterations=200)
+        b = place_benchmark(ota1, variant="A", seed=7, iterations=200)
+        moved = [
+            n for n in a.positions
+            if (a.positions[n].x, a.positions[n].y)
+            != (b.positions[n].x, b.positions[n].y)
+        ]
+        assert moved
+
+    def test_deterministic_for_same_seed(self, ota1):
+        a = place_benchmark(ota1, variant="A", seed=3, iterations=100)
+        b = place_benchmark(ota1, variant="A", seed=3, iterations=100)
+        for name in a.positions:
+            assert (a.positions[name].x, a.positions[name].y) == (
+                b.positions[name].x, b.positions[name].y)
+
+    def test_annealing_does_not_worsen_hpwl(self, ota1):
+        short = place_benchmark(ota1, variant="A", iterations=10)
+        long = place_benchmark(ota1, variant="A", iterations=600)
+        weights = Placer(ota1, variant="A").net_weights
+        assert long.total_hpwl(weights) <= short.total_hpwl(weights) * 1.25
+
+    def test_unknown_variant_raises(self, ota1):
+        with pytest.raises(ValueError):
+            Placer(ota1, variant="Z")
+
+    def test_positive_coordinates(self, ota1):
+        placement = place_benchmark(ota1, variant="A", iterations=50)
+        x0, y0, _, _ = placement.bounding_box()
+        assert x0 >= 0.0 and y0 >= 0.0
+
+    def test_symmetry_axis_inside_die(self, ota1):
+        placement = place_benchmark(ota1, variant="A", iterations=50)
+        x0, _, x1, _ = placement.bounding_box()
+        assert x0 <= placement.symmetry_axis <= x1

@@ -1,0 +1,107 @@
+"""Repository hygiene: docs, examples, and public API stay consistent."""
+
+import ast
+import importlib
+import pathlib
+import re
+
+import pytest
+
+import repro
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name}"
+
+    @pytest.mark.parametrize("module", [
+        "repro.tech", "repro.netlist", "repro.placement", "repro.router",
+        "repro.extraction", "repro.simulation", "repro.graph", "repro.nn",
+        "repro.model", "repro.core", "repro.baselines", "repro.eval",
+        "repro.io", "repro.cli",
+    ])
+    def test_subpackage_all_resolves(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name}"
+
+    def test_version_matches_pyproject(self):
+        pyproject = (REPO_ROOT / "pyproject.toml").read_text()
+        match = re.search(r'version = "([^"]+)"', pyproject)
+        assert match and match.group(1) == repro.__version__
+
+
+class TestExamples:
+    @pytest.mark.parametrize("script", sorted(
+        (REPO_ROOT / "examples").glob("*.py")))
+    def test_example_parses_and_has_main(self, script):
+        tree = ast.parse(script.read_text())
+        functions = {n.name for n in ast.walk(tree)
+                     if isinstance(n, ast.FunctionDef)}
+        assert "main" in functions, f"{script.name} lacks a main()"
+        assert ast.get_docstring(tree), f"{script.name} lacks a docstring"
+
+    def test_at_least_five_examples(self):
+        assert len(list((REPO_ROOT / "examples").glob("*.py"))) >= 5
+
+    def test_quickstart_exists(self):
+        assert (REPO_ROOT / "examples" / "quickstart.py").exists()
+
+
+class TestBenchmarks:
+    def test_one_bench_per_paper_artifact(self):
+        benches = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        required = {
+            "bench_table1.py", "bench_table2.py", "bench_fig1_guidance.py",
+            "bench_fig2_relaxation.py", "bench_fig5_runtime.py",
+            "bench_fig6_layouts.py",
+        }
+        assert required <= benches
+
+    def test_ablations_present(self):
+        benches = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        ablations = {b for b in benches if "ablation" in b}
+        assert len(ablations) >= 4
+
+    @pytest.mark.parametrize("bench", sorted(
+        (REPO_ROOT / "benchmarks").glob("bench_*.py")))
+    def test_bench_docstrings_state_expectations(self, bench):
+        doc = ast.get_docstring(ast.parse(bench.read_text()))
+        assert doc, f"{bench.name} lacks a docstring"
+
+
+class TestDocs:
+    @pytest.mark.parametrize("name", ["README.md", "DESIGN.md",
+                                      "EXPERIMENTS.md",
+                                      "docs/PAPER_MAPPING.md"])
+    def test_doc_exists_and_nonempty(self, name):
+        path = REPO_ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 500
+
+    def test_design_references_existing_benches(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+            assert (REPO_ROOT / "benchmarks" / match.group(1)).exists(), (
+                f"DESIGN.md references missing {match.group(1)}")
+
+    def test_experiments_covers_every_table_and_figure(self):
+        experiments = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for token in ("Table 1", "Table 2", "Figure 1", "Figure 2",
+                      "Figure 5", "Figure 6"):
+            assert token in experiments, f"EXPERIMENTS.md misses {token}"
+
+    def test_paper_mapping_references_real_modules(self):
+        mapping = (REPO_ROOT / "docs" / "PAPER_MAPPING.md").read_text()
+        for match in set(re.findall(r"`repro\.([a-z_.]+)`", mapping)):
+            module = f"repro.{match}"
+            try:
+                importlib.import_module(module)
+            except ImportError:
+                # May be a module.attr reference; try the parent.
+                parent, _, attr = module.rpartition(".")
+                mod = importlib.import_module(parent)
+                assert hasattr(mod, attr), f"PAPER_MAPPING references {module}"

@@ -1,0 +1,92 @@
+"""Tests for the non-uniform routing guidance container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.router.guidance import (
+    NEUTRAL_COST,
+    RoutingGuidance,
+    random_guidance,
+    uniform_guidance,
+)
+
+
+class TestRoutingGuidance:
+    def test_unset_key_is_neutral(self):
+        guidance = RoutingGuidance()
+        assert (guidance.get(("M1", "G")) == NEUTRAL_COST).all()
+
+    def test_set_get_roundtrip(self):
+        guidance = RoutingGuidance()
+        vec = np.array([0.5, 1.5, 2.5])
+        guidance.set(("M1", "G"), vec)
+        assert (guidance.get(("M1", "G")) == vec).all()
+
+    def test_set_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            RoutingGuidance().set(("M1", "G"), np.ones(4))
+
+    def test_constructor_validates_shapes(self):
+        with pytest.raises(ValueError):
+            RoutingGuidance(vectors={("a", "b"): np.ones((2, 3))})
+
+    def test_as_array_order(self):
+        guidance = RoutingGuidance()
+        guidance.set(("a", "p"), np.array([1.0, 2.0, 3.0]))
+        guidance.set(("b", "q"), np.array([4.0, 5.0, 6.0]))
+        arr = guidance.as_array([("b", "q"), ("a", "p")])
+        assert arr.shape == (2, 3)
+        assert (arr[0] == [4.0, 5.0, 6.0]).all()
+
+    def test_as_array_empty(self):
+        assert RoutingGuidance().as_array([]).shape == (0, 3)
+
+    def test_clip_to_feasible(self):
+        guidance = RoutingGuidance(c_max=4.0)
+        guidance.set(("a", "p"), np.array([-1.0, 2.0, 99.0]))
+        guidance.clip_to_feasible(margin=0.01)
+        vec = guidance.get(("a", "p"))
+        assert vec.min() >= 0.01
+        assert vec.max() <= 4.0 - 0.01
+
+    def test_copy_is_deep(self):
+        guidance = RoutingGuidance()
+        guidance.set(("a", "p"), np.ones(3))
+        clone = guidance.copy()
+        clone.get(("a", "p"))[0] = 99.0
+        assert guidance.get(("a", "p"))[0] == 1.0
+
+    def test_net_vector_is_mean(self, ota1_grid):
+        aps = ota1_grid.access_points["NET1L"][:2]
+        guidance = RoutingGuidance()
+        guidance.set(aps[0].key, np.array([0.0, 0.0, 0.0]))
+        guidance.set(aps[1].key, np.array([2.0, 2.0, 2.0]))
+        assert (guidance.net_vector(list(aps)) == 1.0).all()
+
+    def test_net_vector_empty_is_neutral(self):
+        assert (RoutingGuidance().net_vector([]) == NEUTRAL_COST).all()
+
+
+class TestFactories:
+    def test_uniform_guidance_values(self):
+        keys = [("a", "p"), ("b", "q")]
+        guidance = uniform_guidance(keys, value=2.0)
+        for key in keys:
+            assert (guidance.get(key) == 2.0).all()
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_random_guidance_in_feasible_region(self, seed):
+        rng = np.random.default_rng(seed)
+        keys = [("a", "p"), ("b", "q"), ("c", "r")]
+        guidance = random_guidance(keys, rng, c_max=4.0)
+        for key in keys:
+            vec = guidance.get(key)
+            assert (vec > 0.0).all()
+            assert (vec < 4.0).all()
+
+    def test_random_guidance_deterministic_per_seed(self):
+        keys = [("a", "p")]
+        a = random_guidance(keys, np.random.default_rng(5))
+        b = random_guidance(keys, np.random.default_rng(5))
+        assert (a.get(keys[0]) == b.get(keys[0])).all()

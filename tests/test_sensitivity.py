@@ -1,0 +1,72 @@
+"""Tests for guidance sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalogFold, AnalogFoldConfig, DatasetConfig, PotentialFunction
+from repro.core.sensitivity import (
+    format_sensitivity_report,
+    guidance_sensitivity,
+    net_sensitivity,
+)
+from repro.model import Gnn3dConfig, TrainConfig
+from repro.core.relaxation import RelaxationConfig
+
+
+@pytest.fixture(scope="module")
+def potential(ota1, ota1_placement, tech):
+    fold = AnalogFold(
+        ota1, ota1_placement, tech,
+        config=AnalogFoldConfig(
+            dataset=DatasetConfig(num_samples=4, seed=0),
+            gnn=Gnn3dConfig(hidden=16, num_layers=2, seed=0),
+            training=TrainConfig(epochs=3, val_fraction=0.0, patience=0),
+            relaxation=RelaxationConfig(n_restarts=2, pool_size=2, n_derive=1),
+        ),
+    )
+    fold.train()
+    return PotentialFunction(fold.model, fold.database.graph)
+
+
+class TestSensitivity:
+    def test_covers_every_ap(self, potential):
+        out = guidance_sensitivity(potential)
+        assert len(out) == potential.graph.num_aps
+
+    def test_sorted_descending(self, potential):
+        out = guidance_sensitivity(potential)
+        mags = [s.magnitude for s in out]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_gradients_nonzero_somewhere(self, potential):
+        out = guidance_sensitivity(potential)
+        assert out[0].magnitude > 0
+
+    def test_dominant_direction_valid(self, potential):
+        for s in guidance_sensitivity(potential)[:10]:
+            assert s.dominant_direction in ("x", "y", "z")
+            i = ("x", "y", "z").index(s.dominant_direction)
+            assert abs(s.gradient[i]) == pytest.approx(
+                np.abs(s.gradient).max())
+
+    def test_custom_evaluation_point(self, potential):
+        point = np.full((potential.graph.num_aps, 3), 0.8)
+        out = guidance_sensitivity(potential, point)
+        assert len(out) == potential.graph.num_aps
+
+    def test_bad_shape_raises(self, potential):
+        with pytest.raises(ValueError):
+            guidance_sensitivity(potential, np.ones((2, 3)))
+
+    def test_net_aggregation(self, potential):
+        pins = guidance_sensitivity(potential)
+        nets = net_sensitivity(pins)
+        assert set(nets) == set(potential.graph.ap_nets)
+        total_pin = sum(s.magnitude for s in pins)
+        assert sum(nets.values()) == pytest.approx(total_pin)
+
+    def test_report_format(self, potential):
+        report = format_sensitivity_report(guidance_sensitivity(potential),
+                                           top_k=5)
+        assert "rank" in report
+        assert len(report.splitlines()) == 7  # header x2 + 5 rows

@@ -1,0 +1,128 @@
+"""Transient analysis tests against analytic solutions."""
+
+import numpy as np
+import pytest
+
+from repro.extraction import extract_schematic
+from repro.simulation import Testbench
+from repro.simulation.mna import MnaSystem
+from repro.simulation.transient import (
+    StepMetrics,
+    step_response_metrics,
+    transient,
+)
+
+
+def _rc_system(r=1e3, c=1e-9):
+    sys = MnaSystem()
+    sys.add_resistance("in", "out", r)
+    sys.add_capacitance("out", "0", c)
+    sys.add_conductance("in", "0", 1e3)  # stiff source node
+    return sys
+
+
+class TestTransientRc:
+    def test_rc_step_matches_analytic(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        sys = _rc_system(r, c)
+
+        def drive(t):
+            return {"in": 1.0 * 1e3}  # 1 V through the stiff source
+
+        result = transient(sys, drive, t_stop=5 * tau, dt=tau / 200)
+        wave = result.waveform("out")
+        analytic = 1.0 - np.exp(-result.times / tau)
+        # Backward Euler at tau/200: sub-percent accuracy expected.
+        assert np.abs(wave - analytic).max() < 0.01
+
+    def test_initial_condition_decay(self):
+        r, c = 1e3, 1e-9
+        tau = r * c
+        sys = MnaSystem()
+        sys.add_resistance("out", "0", r)
+        sys.add_capacitance("out", "0", c)
+        result = transient(sys, lambda t: {}, t_stop=3 * tau, dt=tau / 100,
+                           initial={"out": 1.0})
+        wave = result.waveform("out")
+        analytic = np.exp(-result.times / tau)
+        assert np.abs(wave - analytic).max() < 0.02
+
+    def test_ground_waveform_is_zero(self):
+        sys = _rc_system()
+        result = transient(sys, lambda t: {"in": 1.0}, t_stop=1e-6, dt=1e-8)
+        assert (result.waveform("0") == 0).all()
+
+    def test_invalid_steps_raise(self):
+        sys = _rc_system()
+        with pytest.raises(ValueError):
+            transient(sys, lambda t: {}, t_stop=0.0, dt=1e-9)
+        with pytest.raises(ValueError):
+            transient(sys, lambda t: {}, t_stop=1e-9, dt=1e-6)
+
+
+class TestStepMetrics:
+    def _rc_result(self, tau=1e-6, steps=1000):
+        sys = MnaSystem()
+        sys.add_resistance("in", "out", 1e3)
+        sys.add_capacitance("out", "0", tau / 1e3)
+        sys.add_conductance("in", "0", 1e3)
+        return transient(sys, lambda t: {"in": 1e3}, t_stop=8 * tau,
+                         dt=8 * tau / steps)
+
+    def test_final_value(self):
+        metrics = step_response_metrics(self._rc_result(), "out")
+        assert metrics.final_value == pytest.approx(1.0, abs=0.01)
+
+    def test_settling_time_near_4_tau(self):
+        tau = 1e-6
+        metrics = step_response_metrics(self._rc_result(tau), "out",
+                                        tolerance=0.02)
+        # First-order settling to 2%: t = tau * ln(50) ~ 3.9 tau.
+        assert metrics.settling_time == pytest.approx(3.9 * tau, rel=0.15)
+
+    def test_first_order_has_no_overshoot(self):
+        metrics = step_response_metrics(self._rc_result(), "out")
+        assert metrics.overshoot < 0.01
+
+    def test_slew_rate_positive(self):
+        metrics = step_response_metrics(self._rc_result(), "out")
+        assert metrics.slew_rate > 0
+
+    def test_flat_waveform(self):
+        sys = MnaSystem()
+        sys.add_resistance("a", "0", 1.0)
+        result = transient(sys, lambda t: {}, t_stop=1e-6, dt=1e-8)
+        metrics = step_response_metrics(result, "a")
+        assert metrics == StepMetrics(0.0, 0.0, 0.0, 0.0)
+
+
+class TestOtaTransient:
+    def test_ota_differential_step_settles(self, ota1):
+        """Open-loop OTA driven by a tiny differential step must slew and
+        settle to its DC-gain-scaled output without numerical blowup."""
+        bench = Testbench(ota1, extract_schematic(list(ota1.nets)))
+        v_in = 1e-5  # small enough that output stays in linear range
+        from repro.simulation.testbench import G_STIFF
+
+        def drive(t):
+            return {"VINP": v_in / 2 * G_STIFF, "VINN": -v_in / 2 * G_STIFF}
+
+        result = transient(bench.system, drive, t_stop=2e-6, dt=2e-9)
+        out = result.waveform("VOUTP") - result.waveform("VOUTN")
+        assert np.isfinite(out).all()
+        metrics = step_response_metrics(
+            TransientLike(result.times, out), node=None)
+        # ~40 dB gain: output approaches 100x the input step.
+        assert abs(metrics.final_value) == pytest.approx(100 * v_in, rel=0.3)
+
+
+class TransientLike:
+    """Adapter exposing a differential waveform to step_response_metrics."""
+
+    def __init__(self, times, wave):
+        self.times = times
+        self._wave = wave
+
+    def waveform(self, _node):
+        return self._wave

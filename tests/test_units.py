@@ -1,0 +1,63 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestDb:
+    def test_unity_ratio_is_zero_db(self):
+        assert units.db(1.0) == 0.0
+
+    def test_factor_ten_is_twenty_db(self):
+        assert units.db(10.0) == pytest.approx(20.0)
+
+    def test_negative_ratio_raises(self):
+        with pytest.raises(ValueError):
+            units.db(-1.0)
+
+    def test_zero_ratio_raises(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_roundtrip(self, ratio):
+        assert units.from_db(units.db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+    def test_power_db_is_half_voltage_db(self):
+        assert units.db_power(100.0) == pytest.approx(units.db(100.0) / 2.0)
+
+
+class TestClamp:
+    def test_inside_interval_unchanged(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below_clamps_to_lo(self):
+        assert units.clamp(-3.0, 0.0, 1.0) == 0.0
+
+    def test_above_clamps_to_hi(self):
+        assert units.clamp(3.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(-100, 100), st.floats(0, 100))
+    def test_result_always_in_interval(self, x, lo, width):
+        hi = lo + width
+        assert lo <= units.clamp(x, lo, hi) <= hi
+
+
+class TestConstants:
+    def test_nm_is_fraction_of_um(self):
+        assert units.NM == pytest.approx(1e-3)
+        assert units.UM == 1.0
+
+    def test_si_prefixes_consistent(self):
+        assert units.GIGA * units.NANO == pytest.approx(1.0)
+        assert units.MEGA * units.MICRO == pytest.approx(1.0)
+        assert math.isclose(units.KILO * units.MILLI, 1.0)
