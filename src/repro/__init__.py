@@ -33,6 +33,13 @@ from repro.graph import HeteroGraph, build_hetero_graph
 from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
 from repro.netlist import BENCHMARKS, Circuit, build_benchmark
 from repro.placement import Placement, place_benchmark
+from repro.reliability import (
+    DataQualityError,
+    DegradationPolicy,
+    FaultPlan,
+    ReproError,
+    inject_faults,
+)
 from repro.router import (
     IterativeRouter,
     RouterConfig,
@@ -73,6 +80,11 @@ __all__ = [
     "build_benchmark",
     "Placement",
     "place_benchmark",
+    "ReproError",
+    "DataQualityError",
+    "DegradationPolicy",
+    "FaultPlan",
+    "inject_faults",
     "IterativeRouter",
     "RouterConfig",
     "RoutingGrid",

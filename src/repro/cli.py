@@ -30,6 +30,7 @@ from repro import (
 )
 from repro.core import RelaxationConfig
 from repro.eval import SCALES, evaluate_cell, format_table1, format_table2
+from repro.reliability import DegradationPolicy, ReproError
 from repro.eval.runtime import runtime_breakdown_table
 from repro.io import (
     load_guidance,
@@ -106,10 +107,22 @@ def _cmd_fold(args: argparse.Namespace) -> int:
             training=TrainConfig(epochs=args.epochs, seed=args.seed),
             relaxation=RelaxationConfig(n_restarts=args.restarts,
                                         seed=args.seed),
+            policy=DegradationPolicy(
+                max_retries=args.max_retries,
+                min_valid_fraction=args.min_valid_fraction,
+            ),
+            checkpoint_path=args.checkpoint,
+            resume=args.resume,
         ),
     )
     result = fold.run()
+    report = fold.database.report if fold.database else None
+    if report is not None:
+        print(f"database: {report.summary()}")
     print(f"AnalogFold metrics: {result.metrics}")
+    print(f"winner: candidate {result.winner_index} "
+          f"({result.winner_source}), candidate FoMs "
+          f"{['%.3f' % f for f in result.candidate_foms]}")
     print(runtime_breakdown_table(result))
     if args.guidance_out:
         save_guidance(result.guidance, args.guidance_out)
@@ -159,6 +172,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_fold.add_argument("--epochs", type=int, default=20)
     p_fold.add_argument("--restarts", type=int, default=10)
     p_fold.add_argument("--guidance-out", help="write derived guidance JSON")
+    p_fold.add_argument("--checkpoint", metavar="PATH",
+                        help="append completed database samples to this "
+                             "JSONL file as they finish")
+    p_fold.add_argument("--resume", action="store_true",
+                        help="reuse samples already in --checkpoint instead "
+                             "of recomputing them")
+    p_fold.add_argument("--max-retries", type=int, default=1,
+                        help="retries per failed database sample, each with "
+                             "perturbed guidance (default 1)")
+    p_fold.add_argument("--min-valid-fraction", type=float, default=0.5,
+                        help="fraction of requested samples that must "
+                             "survive or the run aborts (default 0.5)")
     p_fold.set_defaults(func=_cmd_fold)
 
     p_cmp = sub.add_parser("compare", help="Table 2 row for one cell")
@@ -176,7 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        # Config validation (__post_init__) errors: bad flag values.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,6 +1,11 @@
 """AnalogFold core: potential modeling, relaxation, dataset, pipeline."""
 
-from repro.core.dataset import DatasetConfig, GuidanceSample, generate_dataset
+from repro.core.dataset import (
+    Database,
+    DatasetConfig,
+    GuidanceSample,
+    generate_dataset,
+)
 from repro.core.pipeline import AnalogFold, AnalogFoldConfig, AnalogFoldResult
 from repro.core.potential import PotentialFunction
 from repro.core.relaxation import PotentialRelaxer, RelaxationConfig, RelaxedGuidance
@@ -18,6 +23,7 @@ __all__ = [
     "PinSensitivity",
     "guidance_sensitivity",
     "net_sensitivity",
+    "Database",
     "DatasetConfig",
     "GuidanceSample",
     "generate_dataset",

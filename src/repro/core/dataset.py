@@ -4,6 +4,14 @@ The paper collects training data by running the automatic router under many
 different guidance settings and simulating each result ("learns from the
 automatically generated routing patterns using their performance metrics").
 This module reproduces that loop on our substrates.
+
+Construction is fault-tolerant (see ``docs/RELIABILITY.md``): a sample
+whose routing, extraction, or simulation fails is retried with perturbed
+guidance, then skipped and backfilled by a freshly drawn sample; every
+completed sample can be checkpointed to a JSONL file and reused on resume.
+Only when fewer than the policy's ``min_valid_fraction`` of requested
+samples survive does construction abort, with a typed
+:class:`~repro.reliability.errors.DataQualityError`.
 """
 
 from __future__ import annotations
@@ -18,6 +26,25 @@ from repro.graph.hetero import HeteroGraph
 from repro.model.training import TrainSample
 from repro.netlist.circuit import Circuit
 from repro.placement.layout import Placement
+from repro.reliability.checkpoint import (
+    CheckpointWriter,
+    dataset_fingerprint,
+    load_checkpoint,
+)
+from repro.reliability.errors import (
+    DataQualityError,
+    ExtractionError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+)
+from repro.reliability.policy import (
+    ConstructionReport,
+    DegradationPolicy,
+    FailureRecord,
+    validate_sample,
+)
+from repro.reliability.retry import RetryPolicy, retry_call
 from repro.router import IterativeRouter, RouterConfig, RoutingGrid
 from repro.router.guidance import RoutingGuidance, random_guidance, uniform_guidance
 from repro.router.result import RoutingResult
@@ -44,6 +71,16 @@ class DatasetConfig:
     include_uniform: bool = True
     routing_pitch: float = 0.5
 
+    def __post_init__(self) -> None:
+        if self.num_samples <= 0:
+            raise ValueError(
+                f"num_samples must be positive, got {self.num_samples}")
+        if self.c_max <= 0:
+            raise ValueError(f"c_max must be positive, got {self.c_max}")
+        if self.routing_pitch <= 0:
+            raise ValueError(
+                f"routing_pitch must be positive, got {self.routing_pitch}")
+
 
 @dataclass
 class GuidanceSample:
@@ -67,10 +104,13 @@ class Database:
     Attributes:
         graph: the design's heterogeneous graph (shared by all samples).
         samples: raw records.
+        report: what happened during construction (retries, skips,
+            checkpoint reuse); ``None`` for databases built by hand.
     """
 
     graph: HeteroGraph
     samples: list[GuidanceSample] = field(default_factory=list)
+    report: ConstructionReport | None = None
 
     def train_samples(self) -> list[TrainSample]:
         """Convert records to supervised 3DGNN samples in graph AP order."""
@@ -92,17 +132,98 @@ def route_and_measure(
     router_config: RouterConfig | None = None,
     testbench_config: TestbenchConfig | None = None,
     routing_pitch: float = 0.5,
+    sample_index: int | None = None,
 ) -> GuidanceSample:
     """Route one guidance setting and simulate the result.
 
     A fresh grid is built per call because routing mutates occupancy.
+    Failures surface as typed :class:`~repro.reliability.errors.ReproError`
+    subclasses with the stage and sample index attached.
     """
     grid = RoutingGrid(placement, tech, pitch=routing_pitch)
     router = IterativeRouter(grid, guidance=guidance, config=router_config)
-    result = router.route_all()
-    parasitics = extract(result, grid, tech)
-    metrics = simulate_performance(circuit, parasitics, testbench_config)
+    try:
+        result = router.route_all()
+    except ReproError as exc:
+        raise exc.with_context(stage="routing", sample_index=sample_index)
+    except Exception as exc:
+        raise RoutingError(str(exc), stage="routing",
+                           sample_index=sample_index) from exc
+    try:
+        parasitics = extract(result, grid, tech)
+    except ReproError as exc:
+        raise exc.with_context(stage="extraction", sample_index=sample_index)
+    except Exception as exc:
+        raise ExtractionError(str(exc), stage="extraction",
+                              sample_index=sample_index) from exc
+    try:
+        metrics = simulate_performance(circuit, parasitics, testbench_config)
+    except ReproError as exc:
+        raise exc.with_context(stage="simulation", sample_index=sample_index)
+    except Exception as exc:
+        raise SimulationError(str(exc), stage="simulation",
+                              sample_index=sample_index) from exc
     return GuidanceSample(guidance=guidance, result=result, metrics=metrics)
+
+
+def _perturb_guidance(
+    guidance: RoutingGuidance, seed: list[int], noise: float
+) -> RoutingGuidance:
+    """Retry input: the same guidance with Gaussian noise, kept feasible."""
+    rng = np.random.default_rng(seed)
+    out = guidance.copy()
+    for key in out.vectors:
+        out.vectors[key] = out.vectors[key] + rng.normal(0.0, noise, size=3)
+    out.clip_to_feasible()
+    return out
+
+
+def _attempt_sample(
+    circuit: Circuit,
+    placement: Placement,
+    tech,
+    guidance: RoutingGuidance,
+    index: int,
+    cfg: DatasetConfig,
+    policy: DegradationPolicy,
+    report: ConstructionReport,
+    router_config: RouterConfig | None,
+    testbench_config: TestbenchConfig | None,
+) -> GuidanceSample | None:
+    """One sample with retries; ``None`` when abandoned after retries."""
+
+    def build(guidance: RoutingGuidance = guidance) -> GuidanceSample:
+        sample = route_and_measure(
+            circuit, placement, tech, guidance,
+            router_config=router_config,
+            testbench_config=testbench_config,
+            routing_pitch=cfg.routing_pitch,
+            sample_index=index,
+        )
+        reason = validate_sample(sample, require_routed=policy.require_routed)
+        if reason is not None:
+            raise DataQualityError(reason, stage="quality", sample_index=index)
+        return sample
+
+    def reseed(attempt: int, _kwargs: dict) -> dict:
+        report.retried += 1
+        return {"guidance": _perturb_guidance(
+            guidance, [policy.retry_seed, index, attempt], policy.retry_noise)}
+
+    try:
+        return retry_call(
+            build,
+            policy=RetryPolicy(max_attempts=policy.max_retries + 1),
+            reseed=reseed,
+        )
+    except ReproError as exc:
+        report.skipped.append(FailureRecord(
+            sample_index=index,
+            stage=exc.stage or "unknown",
+            error=exc.message,
+            attempts=policy.max_retries + 1,
+        ))
+        return None
 
 
 def generate_dataset(
@@ -112,27 +233,103 @@ def generate_dataset(
     config: DatasetConfig | None = None,
     router_config: RouterConfig | None = None,
     testbench_config: TestbenchConfig | None = None,
+    policy: DegradationPolicy | None = None,
+    checkpoint_path=None,
+    resume: bool = False,
 ) -> Database:
-    """Build the training database for one (circuit, placement) design."""
+    """Build the training database for one (circuit, placement) design.
+
+    Args:
+        policy: degradation policy for per-sample failures (default:
+            one retry, skip-and-resample, 50% survivor floor).
+        checkpoint_path: when given, completed samples are appended to
+            this JSONL file as they finish.
+        resume: reuse samples already present in ``checkpoint_path``
+            (validated against the run fingerprint) instead of
+            recomputing them.
+
+    Raises:
+        DataQualityError: fewer than the policy's floor of valid samples
+            survived construction.
+        CheckpointError: ``resume`` was requested against a checkpoint
+            from a different design or configuration.
+    """
     cfg = config or DatasetConfig()
+    pol = policy or DegradationPolicy()
     rng = np.random.default_rng(cfg.seed)
 
     reference_grid = RoutingGrid(placement, tech, pitch=cfg.routing_pitch)
     graph = build_hetero_graph(reference_grid)
     keys = graph.ap_keys
 
-    database = Database(graph=graph)
     guidances: list[RoutingGuidance] = []
     if cfg.include_uniform:
         guidances.append(uniform_guidance(keys, c_max=cfg.c_max))
     while len(guidances) < cfg.num_samples:
         guidances.append(random_guidance(keys, rng, c_max=cfg.c_max))
 
-    for guidance in guidances[: cfg.num_samples]:
-        database.samples.append(route_and_measure(
-            circuit, placement, tech, guidance,
-            router_config=router_config,
-            testbench_config=testbench_config,
-            routing_pitch=cfg.routing_pitch,
-        ))
+    report = ConstructionReport(requested=cfg.num_samples)
+    database = Database(graph=graph, report=report)
+
+    completed: dict[int, GuidanceSample] = {}
+    writer: CheckpointWriter | None = None
+    if checkpoint_path is not None:
+        fingerprint = dataset_fingerprint(circuit, cfg, reference_grid)
+        if resume:
+            completed = load_checkpoint(checkpoint_path, fingerprint,
+                                        reference_grid)
+        writer = CheckpointWriter(checkpoint_path, fingerprint, resume=resume)
+
+    # Replacement draws come from their own stream so the base sample
+    # sequence is identical whether or not failures occur.
+    resample_rng = np.random.default_rng([cfg.seed, 0x5A3E])
+    resamples_left = pol.resamples_for(cfg.num_samples)
+    next_index = cfg.num_samples
+
+    try:
+        pending = list(enumerate(guidances[: cfg.num_samples]))
+        cursor = 0
+        while cursor < len(pending):
+            index, guidance = pending[cursor]
+            cursor += 1
+            reused = completed.get(index)
+            if reused is not None:
+                database.samples.append(reused)
+                report.reused += 1
+                report.valid += 1
+                continue
+            sample = _attempt_sample(
+                circuit, placement, tech, guidance, index, cfg, pol, report,
+                router_config, testbench_config,
+            )
+            if sample is not None:
+                database.samples.append(sample)
+                report.valid += 1
+                if writer is not None:
+                    writer.append_sample(index, sample)
+            elif resamples_left > 0:
+                resamples_left -= 1
+                report.resampled += 1
+                pending.append((next_index,
+                                random_guidance(keys, resample_rng,
+                                                c_max=cfg.c_max)))
+                next_index += 1
+    finally:
+        if writer is not None:
+            writer.close()
+
+    floor = pol.min_valid_samples(cfg.num_samples)
+    if report.valid < floor:
+        raise DataQualityError(
+            f"database construction kept {report.valid} of "
+            f"{cfg.num_samples} requested samples, below the floor of "
+            f"{floor}",
+            stage="database",
+            details={
+                "valid": report.valid,
+                "floor": floor,
+                "requested": cfg.num_samples,
+                "failures_by_stage": report.failures_by_stage(),
+            },
+        )
     return database

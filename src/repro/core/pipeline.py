@@ -26,6 +26,8 @@ from repro.core.relaxation import PotentialRelaxer, RelaxationConfig, RelaxedGui
 from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
 from repro.netlist.circuit import Circuit
 from repro.placement.layout import Placement
+from repro.reliability.errors import RelaxationError, ReproError, RoutingError
+from repro.reliability.policy import DegradationPolicy
 from repro.router import RouterConfig
 from repro.router.guidance import RoutingGuidance
 from repro.router.result import RoutingResult
@@ -50,6 +52,13 @@ class AnalogFoldConfig:
     #: With select_by="simulation", also consider the database's best
     #: already-routed sample as a candidate (no extra routing cost).
     include_database_best: bool = True
+    #: Degradation policy for database construction and candidate routing.
+    policy: DegradationPolicy = field(default_factory=DegradationPolicy)
+    #: When set, database samples are checkpointed to this JSONL file.
+    checkpoint_path: str | None = None
+    #: Reuse completed samples from ``checkpoint_path`` instead of
+    #: rebuilding them.
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.select_by not in ("potential", "simulation"):
@@ -67,6 +76,15 @@ class AnalogFoldResult:
         derived: all relaxation outputs (top-N_derive).
         stage_seconds: wall-clock per stage, keyed by stage name
             (Figure 5's categories).
+        candidate_foms: measured FoM of every routed candidate, in
+            evaluation order (derived guidances first, then the database
+            best when ``include_database_best``); ``inf`` marks a
+            candidate whose routing failed and was skipped.
+        winner_index: index into ``candidate_foms`` of the candidate
+            actually returned.
+        winner_source: ``"derived"`` when the winner came from
+            relaxation, ``"database"`` when the database's best
+            already-routed sample won.
     """
 
     guidance: RoutingGuidance
@@ -74,6 +92,9 @@ class AnalogFoldResult:
     metrics: PerformanceMetrics
     derived: list[RelaxedGuidance] = field(default_factory=list)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    candidate_foms: list[float] = field(default_factory=list)
+    winner_index: int = 0
+    winner_source: str = "derived"
 
     @property
     def total_seconds(self) -> float:
@@ -122,6 +143,9 @@ class AnalogFold:
             config=self.config.dataset,
             router_config=self.config.router,
             testbench_config=self.config.testbench,
+            policy=self.config.policy,
+            checkpoint_path=self.config.checkpoint_path,
+            resume=self.config.resume,
         )
         self.stage_seconds["construct_database"] = time.perf_counter() - start
         return self.database
@@ -186,26 +210,51 @@ class AnalogFold:
         return guidance
 
     def run(self) -> AnalogFoldResult:
-        """Run the full pipeline and return the final routed solution."""
+        """Run the full pipeline and return the final routed solution.
+
+        With ``select_by="simulation"``, candidates whose guided routing
+        fails are skipped (FoM recorded as ``inf``); at least one
+        candidate must route or a :class:`RoutingError` is raised.
+        """
         derived = self.derive_guidance()
         if not derived:
-            raise RuntimeError("relaxation produced no guidance")
+            raise RelaxationError("relaxation produced no guidance",
+                                  stage="relaxation")
 
         start = time.perf_counter()
         weights = self.config.fom_weights
+        candidates: list[tuple[object, str]] = []
+        candidate_foms: list[float] = []
         if self.config.select_by == "simulation":
-            candidates = [
-                self.route_with_guidance(self._to_routing_guidance(d))
-                for d in derived
-            ]
+            for d in derived:
+                try:
+                    sample = self.route_with_guidance(
+                        self._to_routing_guidance(d))
+                except ReproError:
+                    candidate_foms.append(float("inf"))
+                    continue
+                candidates.append((sample, "derived"))
+                candidate_foms.append(weights.fom(sample.metrics))
             if self.config.include_database_best:
-                candidates.append(self._ranked_database_samples()[0])
-            best_sample = min(candidates, key=lambda s: weights.fom(s.metrics))
+                db_best = self._ranked_database_samples()[0]
+                candidates.append((db_best, "database"))
+                candidate_foms.append(weights.fom(db_best.metrics))
+            if not candidates:
+                raise RoutingError(
+                    f"all {len(derived)} derived guidance candidates "
+                    f"failed guided routing",
+                    stage="guided_routing",
+                )
+            best_sample, winner_source = min(
+                candidates, key=lambda pair: weights.fom(pair[0].metrics))
         else:
             best_derived = min(derived, key=lambda d: d.potential)
             best_sample = self.route_with_guidance(
                 self._to_routing_guidance(best_derived)
             )
+            winner_source = "derived"
+            candidate_foms.append(weights.fom(best_sample.metrics))
+        winner_index = candidate_foms.index(min(candidate_foms))
         self.stage_seconds["guided_routing"] = time.perf_counter() - start
 
         return AnalogFoldResult(
@@ -214,4 +263,7 @@ class AnalogFold:
             metrics=best_sample.metrics,
             derived=derived,
             stage_seconds=dict(self.stage_seconds),
+            candidate_foms=candidate_foms,
+            winner_index=winner_index,
+            winner_source=winner_source,
         )

@@ -13,6 +13,7 @@ import numpy as np
 from repro.graph.hetero import HeteroGraph
 from repro.model.gnn3d import Gnn3d
 from repro.nn import Tensor
+from repro.reliability.errors import RelaxationError
 from repro.simulation.metrics import FoMWeights
 
 
@@ -74,7 +75,18 @@ class PotentialFunction:
         fom = (pred * Tensor(self._w_signed)).sum()
         total = fom + self.barrier(c)
         total.backward()
-        return total.item(), c.grad.reshape(-1).copy()
+        value = total.item()
+        grad = c.grad.reshape(-1).copy()
+        if not np.isfinite(value) or not np.isfinite(grad).all():
+            # A NaN from the model would silently poison L-BFGS; surface
+            # it as a typed error so the relaxer can drop the restart.
+            raise RelaxationError(
+                f"non-finite potential evaluation (value {value})",
+                stage="relaxation",
+                details={"value": value,
+                         "grad_finite": bool(np.isfinite(grad).all())},
+            )
+        return value, grad
 
     def value(self, c_flat: np.ndarray) -> float:
         return self.value_and_grad(c_flat)[0]

@@ -5,6 +5,13 @@ L-BFGS minimizes ``V(C)`` from many initializations.  A pool of the
 full, a fraction ``p_relax`` of subsequent restarts re-initialize from a
 pool member with Gaussian noise added — the paper's noisy-restart escape
 from local optima.  The top ``n_derive`` solutions are returned.
+
+Restarts degrade independently: a restart that diverges to a non-finite
+potential or guidance (or raises a
+:class:`~repro.reliability.errors.RelaxationError` from the potential
+evaluation) is dropped and recorded in the trace instead of aborting the
+run.  Only when *no* restart survives does :meth:`PotentialRelaxer.run`
+raise, with the trace attached for diagnosis.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.core.potential import PotentialFunction
+from repro.reliability.errors import RelaxationError
+from repro.reliability.faults import poison
 
 
 @dataclass(frozen=True)
@@ -55,6 +64,16 @@ class RelaxationConfig:
             )
         if not 0.0 <= self.p_relax <= 1.0:
             raise ValueError(f"p_relax must be in [0, 1], got {self.p_relax}")
+        if self.noise_sigma < 0:
+            raise ValueError(
+                f"noise_sigma must be >= 0, got {self.noise_sigma}")
+        if self.maxiter <= 0:
+            raise ValueError(f"maxiter must be positive, got {self.maxiter}")
+        if self.seed_points > self.n_restarts:
+            raise ValueError(
+                f"seed_points {self.seed_points} exceeds n_restarts "
+                f"{self.n_restarts}"
+            )
 
 
 @dataclass
@@ -74,10 +93,21 @@ class RelaxedGuidance:
 
 @dataclass
 class RelaxationTrace:
-    """Diagnostics of one relaxation run."""
+    """Diagnostics of one relaxation run (reset at each :meth:`run`).
+
+    Attributes:
+        restarts: restarts that completed and entered pool selection.
+        pool_seeded: restarts initialized from a pool member.
+        diverged: restarts dropped for non-finite potential/guidance.
+        failures: per-dropped-restart descriptions, e.g.
+            ``"restart 3: non-finite potential nan"``.
+        best_per_restart: best pool potential after each kept restart.
+    """
 
     restarts: int = 0
     pool_seeded: int = 0
+    diverged: int = 0
+    failures: list[str] = field(default_factory=list)
     best_per_restart: list[float] = field(default_factory=list)
 
 
@@ -100,8 +130,14 @@ class PotentialRelaxer:
             seed_guidance: optional (num_aps, 3) arrays to initialize the
                 first ``seed_points`` restarts from (the database's
                 best-performing guidance points, per Figure 2(b)).
+
+        Raises:
+            RelaxationError: every restart diverged; the trace rides in
+                ``details["trace"]``.
         """
         cfg = self.config
+        # Fresh diagnostics per run; a reused relaxer must not accumulate.
+        self.trace = RelaxationTrace()
         rng = np.random.default_rng(cfg.seed)
         num_aps = potential.graph.num_aps
         n_vars = potential.num_variables
@@ -129,18 +165,35 @@ class PotentialRelaxer:
                 x0 = rng.uniform(cfg.init_low, cfg.init_high, size=n_vars)
             x0 = np.clip(x0, margin * 2, potential.c_max - margin * 2)
 
-            result = minimize(
-                potential.value_and_grad,
-                x0,
-                jac=True,
-                method="L-BFGS-B",
-                bounds=bounds,
-                options={"maxiter": cfg.maxiter},
-            )
+            try:
+                result = minimize(
+                    potential.value_and_grad,
+                    x0,
+                    jac=True,
+                    method="L-BFGS-B",
+                    bounds=bounds,
+                    options={"maxiter": cfg.maxiter},
+                )
+            except RelaxationError as exc:
+                self.trace.diverged += 1
+                self.trace.failures.append(f"restart {restart}: {exc}")
+                continue
+            value = poison("relaxation", float(result.fun))
+            if not np.isfinite(value):
+                self.trace.diverged += 1
+                self.trace.failures.append(
+                    f"restart {restart}: non-finite potential {value}")
+                continue
+            if not np.isfinite(result.x).all():
+                self.trace.diverged += 1
+                self.trace.failures.append(
+                    f"restart {restart}: non-finite guidance")
+                continue
+
             solution = RelaxedGuidance(
                 guidance=np.clip(result.x, margin, potential.c_max - margin)
                 .reshape(num_aps, 3),
-                potential=float(result.fun),
+                potential=value,
                 from_pool=from_pool,
             )
             pool.append(solution)
@@ -149,4 +202,15 @@ class PotentialRelaxer:
             self.trace.restarts += 1
             self.trace.best_per_restart.append(pool[0].potential)
 
+        if not pool:
+            raise RelaxationError(
+                f"all {cfg.n_restarts} relaxation restarts diverged",
+                stage="relaxation",
+                details={
+                    "trace": {
+                        "diverged": self.trace.diverged,
+                        "failures": list(self.trace.failures),
+                    }
+                },
+            )
         return pool[: cfg.n_derive]

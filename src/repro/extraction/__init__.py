@@ -3,15 +3,39 @@
 Replaces Calibre PEX (DESIGN.md section 2): rule-based extraction over grid
 geometry, producing a reduced star RC model per net plus inter-net coupling
 capacitors, consumed directly by the MNA simulator.
+
+:func:`extract` is the instrumented pipeline entry point: it honors
+fault-injection plans for the ``"extraction"`` stage and converts any
+internal failure into a typed
+:class:`~repro.reliability.errors.ExtractionError`.
 """
 
 from repro.extraction.parasitics import (
     NetParasitics,
     ParasiticNetwork,
-    extract,
     extract_schematic,
 )
+from repro.extraction.parasitics import extract as _extract_impl
 from repro.extraction.rc import path_resistance, segment_capacitance, segment_resistance
+from repro.reliability.errors import ExtractionError, ReproError
+from repro.reliability.faults import maybe_inject
+
+
+def extract(result, grid, tech) -> ParasiticNetwork:
+    """Extract reduced parasitics from a routed solution.
+
+    Raises:
+        ExtractionError: extraction failed (or a fault was injected).
+    """
+    maybe_inject("extraction")
+    try:
+        return _extract_impl(result, grid, tech)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise ExtractionError(f"parasitic extraction failed: {exc}",
+                              stage="extraction") from exc
+
 
 __all__ = [
     "NetParasitics",

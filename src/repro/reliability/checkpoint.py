@@ -1,0 +1,230 @@
+"""Incremental JSON-lines checkpointing of database construction.
+
+Database construction is the pipeline's longest stage (route + extract +
+simulate per sample); a crash near the end used to discard everything.
+Samples are now appended to a checkpoint file *as they complete*:
+
+* line 1 is a header record carrying a fingerprint of the run
+  (circuit, dataset config, access-point count) so a checkpoint is never
+  resumed against a different design or configuration;
+* each subsequent line is one completed sample — guidance vectors,
+  metrics, and routed paths — flushed immediately so a kill mid-run
+  loses at most the sample in flight.
+
+On resume, completed sample indices are restored without re-invoking the
+router/extractor/simulator.  A torn final line (the in-flight sample at
+kill time) is tolerated and dropped; corruption anywhere else, or a
+fingerprint mismatch, raises :class:`CheckpointError` rather than
+silently mixing runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TYPE_CHECKING
+
+import numpy as np
+
+from repro.reliability.errors import CheckpointError
+
+if TYPE_CHECKING:  # avoid importing the packages this module instruments
+    from repro.core.dataset import GuidanceSample
+
+CHECKPOINT_VERSION = 1
+
+#: Metric field order in checkpoint records (matches
+#: ``repro.simulation.metrics.METRIC_NAMES``; duplicated here because the
+#: instrumented packages import ``repro.reliability`` at module load, so
+#: this module must not import them back at module level).
+_METRIC_NAMES = ("offset_uv", "cmrr_db", "bandwidth_mhz", "gain_db",
+                 "noise_uvrms")
+
+
+def dataset_fingerprint(circuit, config, grid) -> dict[str, Any]:
+    """Identity of a database-construction run, for resume validation."""
+    return {
+        "circuit": circuit.name,
+        "devices": len(circuit.devices),
+        "nets": len(circuit.nets),
+        "seed": config.seed,
+        "num_samples": config.num_samples,
+        "c_max": config.c_max,
+        "routing_pitch": config.routing_pitch,
+        "include_uniform": config.include_uniform,
+        "num_aps": sum(len(aps) for aps in grid.access_points.values()),
+    }
+
+
+# -- serialization -------------------------------------------------------------------
+
+
+def _encode_sample(index: int, sample: "GuidanceSample") -> dict[str, Any]:
+    return {
+        "kind": "sample",
+        "index": index,
+        "guidance": {
+            "c_max": sample.guidance.c_max,
+            "vectors": {
+                f"{device}.{pin}": [float(v) for v in vec]
+                for (device, pin), vec in sorted(sample.guidance.vectors.items())
+            },
+        },
+        "metrics": {
+            name: float(getattr(sample.metrics, name))
+            for name in _METRIC_NAMES
+        },
+        "result": {
+            "iterations": sample.result.iterations,
+            "failed_nets": list(sample.result.failed_nets),
+            "routes": {
+                name: {
+                    "paths": [[list(cell) for cell in path]
+                              for path in route.paths],
+                    "symmetric_ok": route.symmetric_ok,
+                }
+                for name, route in sorted(sample.result.routes.items())
+            },
+        },
+    }
+
+
+def _decode_sample(record: dict[str, Any], grid) -> "GuidanceSample":
+    from repro.core.dataset import GuidanceSample
+    from repro.router.guidance import RoutingGuidance
+    from repro.router.result import NetRoute, RoutingResult
+    from repro.simulation.metrics import PerformanceMetrics
+
+    vectors = {}
+    for key, values in record["guidance"]["vectors"].items():
+        device, _, pin = key.rpartition(".")
+        if not device:
+            raise CheckpointError(f"malformed guidance key {key!r}",
+                                  stage="checkpoint")
+        vectors[(device, pin)] = np.asarray(values, dtype=float)
+    guidance = RoutingGuidance(vectors=vectors,
+                               c_max=float(record["guidance"]["c_max"]))
+
+    metrics = PerformanceMetrics(
+        **{name: float(record["metrics"][name]) for name in _METRIC_NAMES})
+
+    result = RoutingResult(iterations=int(record["result"]["iterations"]),
+                           failed_nets=list(record["result"]["failed_nets"]))
+    for name, payload in record["result"]["routes"].items():
+        result.routes[name] = NetRoute(
+            net=name,
+            paths=[[tuple(cell) for cell in path]
+                   for path in payload["paths"]],
+            access_points=list(grid.access_points.get(name, [])),
+            symmetric_ok=bool(payload["symmetric_ok"]),
+        )
+    return GuidanceSample(guidance=guidance, result=result, metrics=metrics)
+
+
+# -- writing -------------------------------------------------------------------------
+
+
+class CheckpointWriter:
+    """Appends completed samples to a JSONL checkpoint, flushing per line.
+
+    Args:
+        path: checkpoint file.
+        fingerprint: run identity written to (or validated against) the
+            header line.
+        resume: keep an existing compatible file and append to it; when
+            false, any existing file is overwritten.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: dict[str, Any],
+                 resume: bool = False) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        fresh = not (resume and self.path.exists())
+        if not fresh:
+            validate_header(self.path, fingerprint)
+        self._handle = self.path.open("a" if not fresh else "w",
+                                      encoding="utf-8")
+        if fresh:
+            self._write({"kind": "header", "version": CHECKPOINT_VERSION,
+                         "fingerprint": fingerprint})
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def append_sample(self, index: int, sample: "GuidanceSample") -> None:
+        self._write(_encode_sample(index, sample))
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- reading -------------------------------------------------------------------------
+
+
+def _read_records(path: Path) -> list[dict[str, Any]]:
+    """All complete records in a checkpoint; a torn final line is dropped."""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if lineno == len(lines) - 1:
+                break  # torn write from a mid-run kill; sample is redone
+            raise CheckpointError(
+                f"corrupt checkpoint line {lineno + 1} in {path}",
+                stage="checkpoint", details={"line": lineno + 1},
+            ) from exc
+    return records
+
+
+def validate_header(path: str | Path, fingerprint: dict[str, Any]) -> None:
+    """Raise :class:`CheckpointError` unless ``path`` matches this run."""
+    path = Path(path)
+    records = _read_records(path)
+    if not records or records[0].get("kind") != "header":
+        raise CheckpointError(f"checkpoint {path} has no header",
+                              stage="checkpoint")
+    header = records[0]
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {header.get('version')} != "
+            f"{CHECKPOINT_VERSION}", stage="checkpoint")
+    if header.get("fingerprint") != fingerprint:
+        mismatched = sorted(
+            key for key in set(header.get("fingerprint", {})) | set(fingerprint)
+            if header.get("fingerprint", {}).get(key) != fingerprint.get(key)
+        )
+        raise CheckpointError(
+            f"checkpoint {path} belongs to a different run "
+            f"(mismatched: {', '.join(mismatched)})",
+            stage="checkpoint", details={"mismatched": mismatched},
+        )
+
+
+def load_checkpoint(
+    path: str | Path, fingerprint: dict[str, Any], grid
+) -> dict[int, "GuidanceSample"]:
+    """Completed samples by index from a checkpoint, validating identity.
+
+    Returns an empty mapping when the file does not exist.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    validate_header(path, fingerprint)
+    samples: dict[int, "GuidanceSample"] = {}
+    for record in _read_records(path)[1:]:
+        if record.get("kind") != "sample":
+            continue
+        samples[int(record["index"])] = _decode_sample(record, grid)
+    return samples

@@ -1,0 +1,134 @@
+"""Structured exception taxonomy for the AnalogFold pipeline.
+
+Every failure inside the flow is (re-)raised as a :class:`ReproError`
+subclass carrying *where* it happened (stage), *which* unit of work was
+being processed (sample index, net, restart), and *how many* attempts had
+been made.  Degradation policies dispatch on these types: a
+:class:`RoutingError` on sample 17 is retried with a perturbed guidance,
+a :class:`RelaxationError` on restart 3 drops that restart, and a
+:class:`DataQualityError` at the end of database construction is terminal.
+
+``ReproError`` subclasses :class:`RuntimeError` so call sites that predate
+the taxonomy (``except RuntimeError``) keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(RuntimeError):
+    """Base class for all pipeline failures.
+
+    Args:
+        message: human-readable description.
+        stage: pipeline stage name (``"routing"``, ``"extraction"``,
+            ``"simulation"``, ``"relaxation"``, ``"database"``, ...).
+        sample_index: dataset sample being processed, when applicable.
+        net: net name involved in the failure, when applicable.
+        attempt: zero-based retry attempt the failure occurred on.
+        details: free-form structured payload (counts, traces, ...).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        sample_index: int | None = None,
+        net: str | None = None,
+        attempt: int | None = None,
+        details: dict[str, Any] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.stage = stage
+        self.sample_index = sample_index
+        self.net = net
+        self.attempt = attempt
+        self.details = dict(details or {})
+
+    def context(self) -> dict[str, Any]:
+        """The attached context as a plain dict (for logs / checkpoints)."""
+        out: dict[str, Any] = {}
+        for key in ("stage", "sample_index", "net", "attempt"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.details:
+            out["details"] = self.details
+        return out
+
+    def with_context(
+        self,
+        *,
+        stage: str | None = None,
+        sample_index: int | None = None,
+        net: str | None = None,
+        attempt: int | None = None,
+    ) -> "ReproError":
+        """Fill in missing context fields in place; returns self.
+
+        Existing values win: an error raised deep inside the router keeps
+        its own net name when the dataset loop adds the sample index.
+        """
+        if self.stage is None:
+            self.stage = stage
+        if self.sample_index is None:
+            self.sample_index = sample_index
+        if self.net is None:
+            self.net = net
+        if self.attempt is None:
+            self.attempt = attempt
+        return self
+
+    def __str__(self) -> str:
+        parts = []
+        for key in ("stage", "sample_index", "net", "attempt"):
+            value = getattr(self, key)
+            if value is not None:
+                parts.append(f"{key}={value}")
+        if not parts:
+            return self.message
+        return f"{self.message} [{', '.join(parts)}]"
+
+
+class RoutingError(ReproError):
+    """Detailed routing failed (unroutable net, exhausted grid, ...)."""
+
+
+class ExtractionError(ReproError):
+    """Parasitic extraction failed on a routed solution."""
+
+
+class SimulationError(ReproError):
+    """MNA assembly or solve failed (singular matrix, non-finite node
+    voltages, malformed testbench)."""
+
+
+class RelaxationError(ReproError):
+    """Potential relaxation failed (non-finite potential/gradient, or no
+    restart survived the degradation policy)."""
+
+
+class DataQualityError(ReproError):
+    """A constructed sample or database failed a quality gate (NaN/inf
+    metrics, too few valid samples)."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is unreadable or belongs to a different run."""
+
+
+#: Stage name -> error type raised when a fault is injected at that stage.
+STAGE_ERRORS: dict[str, type[ReproError]] = {
+    "routing": RoutingError,
+    "extraction": ExtractionError,
+    "simulation": SimulationError,
+    "relaxation": RelaxationError,
+}
+
+
+def error_for_stage(stage: str) -> type[ReproError]:
+    """The taxonomy type for a stage name (``ReproError`` for unknown)."""
+    return STAGE_ERRORS.get(stage, ReproError)

@@ -1,0 +1,144 @@
+"""Deterministic fault injection for the pipeline's failure paths.
+
+Production EDA failures — an unroutable net, a singular MNA matrix, a
+NaN-diverged restart — are rare and input-dependent, so the degradation
+paths that handle them would otherwise go untested.  This harness makes
+the router, extractor, simulator, and relaxer fail *on demand*:
+
+    plan = FaultPlan(stage="routing", fail_indices={1, 3})
+    with inject_faults(plan):
+        db = generate_dataset(...)   # samples 1 and 3 see RoutingError
+
+Each instrumented entry point calls :func:`maybe_inject(stage)`; the
+active injectors count calls per stage and raise the stage's taxonomy
+error when the current call index is selected, either explicitly
+(``fail_indices``) or probabilistically (``probability`` + ``seed``,
+hashed per index so outcomes are independent of call order history).
+:func:`poison(stage, value)` is the non-raising variant used by the
+relaxer: selected calls get their value replaced with NaN, exercising
+the non-finite-potential degradation path.
+
+When no injector is active every hook is a constant-time no-op, so the
+instrumentation costs nothing in production.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.reliability.errors import error_for_stage
+
+#: Active injectors, innermost last.  Module-level so instrumented code
+#: needs no plumbing; fault injection is test-only and single-threaded.
+_ACTIVE: list["FaultInjector"] = []
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Selects which calls to a stage fail.
+
+    Attributes:
+        stage: instrumented stage name (``"routing"``, ``"extraction"``,
+            ``"simulation"``, ``"relaxation"``).
+        fail_indices: explicit zero-based call indices that fail.
+        probability: independent failure probability per call.
+        seed: RNG seed for probabilistic selection; outcomes depend only
+            on ``(seed, call index)``, never on call history.
+        message: text of the injected error.
+    """
+
+    stage: str
+    fail_indices: frozenset[int] = frozenset()
+    probability: float = 0.0
+    seed: int = 0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        object.__setattr__(self, "fail_indices", frozenset(self.fail_indices))
+
+    def selects(self, index: int) -> bool:
+        """Whether call number ``index`` to the stage fails."""
+        if index in self.fail_indices:
+            return True
+        if self.probability > 0.0:
+            draw = np.random.default_rng([self.seed, index]).random()
+            return bool(draw < self.probability)
+        return False
+
+
+class FaultInjector:
+    """Context manager activating a set of :class:`FaultPlan`.
+
+    Also an observation harness: ``calls`` records how many times each
+    stage was entered while active, whether or not a fault fired — tests
+    use it to assert e.g. that resuming from a checkpoint does not
+    re-invoke the router.
+    """
+
+    def __init__(self, *plans: FaultPlan) -> None:
+        self.plans = list(plans)
+        self.calls: dict[str, int] = {}
+        self.injected: list[tuple[str, int]] = []
+
+    def __enter__(self) -> "FaultInjector":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _ACTIVE.remove(self)
+
+    # -- hooks called by instrumented code -------------------------------------
+
+    def _observe(self, stage: str) -> int:
+        index = self.calls.get(stage, 0)
+        self.calls[stage] = index + 1
+        return index
+
+    def check(self, stage: str) -> None:
+        index = self._observe(stage)
+        for plan in self.plans:
+            if plan.stage == stage and plan.selects(index):
+                self.injected.append((stage, index))
+                raise error_for_stage(stage)(
+                    plan.message, stage=stage,
+                    details={"injected": True, "call_index": index},
+                )
+
+    def poison(self, stage: str, value: float) -> float:
+        index = self._observe(stage)
+        for plan in self.plans:
+            if plan.stage == stage and plan.selects(index):
+                self.injected.append((stage, index))
+                return math.nan
+        return value
+
+
+#: Alias reading naturally at the ``with`` site.
+inject_faults = FaultInjector
+
+
+def maybe_inject(stage: str) -> None:
+    """Raise the stage's taxonomy error if an active plan selects this call.
+
+    No-op (beyond a truthiness check) when no injector is active.
+    """
+    if not _ACTIVE:
+        return
+    for injector in _ACTIVE:
+        injector.check(stage)
+
+
+def poison(stage: str, value: float) -> float:
+    """Return ``value``, or NaN if an active plan selects this call."""
+    if not _ACTIVE:
+        return value
+    for injector in _ACTIVE:
+        value = injector.poison(stage, value)
+    return value

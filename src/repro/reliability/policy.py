@@ -1,0 +1,148 @@
+"""Degradation policies: how the pipeline behaves when a unit of work fails.
+
+The sample-level policy (:class:`DegradationPolicy`) governs database
+construction: a failed guidance sample is retried with perturbed
+guidance, then skipped and replaced by a freshly drawn one; the run
+aborts with :class:`~repro.reliability.errors.DataQualityError` only when
+fewer than ``min_valid_fraction`` of the requested samples survive.
+
+:func:`validate_sample` is the quality gate between "the stages ran" and
+"the record is trainable": non-finite metrics poison both training
+targets and FoM ranking, so they are rejected like hard failures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Per-sample failure handling during database construction.
+
+    Attributes:
+        max_retries: extra attempts per failed sample, each with the
+            guidance perturbed by ``retry_noise`` (a failed sample is
+            deterministic in its inputs; retrying them verbatim would
+            fail identically).
+        min_valid_fraction: fraction of ``num_samples`` that must survive
+            or database construction raises ``DataQualityError``.
+        resample_budget: replacement guidance draws allowed to backfill
+            skipped samples; ``None`` means one per requested sample.
+        retry_noise: std of the Gaussian perturbation applied to guidance
+            vectors on retry.
+        retry_seed: base seed of the perturbation stream (mixed with the
+            sample index and attempt number).
+        require_routed: when true, samples with unrouted nets are
+            rejected by the quality gate even if simulation succeeded.
+    """
+
+    max_retries: int = 1
+    min_valid_fraction: float = 0.5
+    resample_budget: int | None = None
+    retry_noise: float = 0.2
+    retry_seed: int = 0x5EED
+    require_routed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.min_valid_fraction <= 1.0:
+            raise ValueError(
+                f"min_valid_fraction must be in [0, 1], "
+                f"got {self.min_valid_fraction}"
+            )
+        if self.retry_noise < 0:
+            raise ValueError(f"retry_noise must be >= 0, got {self.retry_noise}")
+        if self.resample_budget is not None and self.resample_budget < 0:
+            raise ValueError(
+                f"resample_budget must be >= 0, got {self.resample_budget}"
+            )
+
+    def min_valid_samples(self, num_samples: int) -> int:
+        """The floor on surviving samples for a requested count."""
+        return min(num_samples, max(1, math.ceil(
+            self.min_valid_fraction * num_samples)))
+
+    def resamples_for(self, num_samples: int) -> int:
+        """Replacement draws allowed for a requested count."""
+        if self.resample_budget is not None:
+            return self.resample_budget
+        return num_samples
+
+
+def validate_sample(sample: Any, require_routed: bool = False) -> str | None:
+    """Quality-gate one :class:`~repro.core.dataset.GuidanceSample`.
+
+    Returns ``None`` for a valid sample, else a short rejection reason.
+    Typed loosely (attribute access only) so the reliability package does
+    not import the core package it instruments.
+    """
+    metrics = sample.metrics.as_tuple()
+    if not np.isfinite(metrics).all():
+        bad = [name for name, value in
+               zip(("offset_uv", "cmrr_db", "bandwidth_mhz", "gain_db",
+                    "noise_uvrms"), metrics)
+               if not np.isfinite(value)]
+        return f"non-finite metrics: {', '.join(bad)}"
+    if require_routed and not sample.result.success:
+        failed = ", ".join(sample.result.failed_nets[:5])
+        return f"unrouted nets: {failed}"
+    return None
+
+
+@dataclass
+class FailureRecord:
+    """One skipped unit of work, for the construction report."""
+
+    sample_index: int
+    stage: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class ConstructionReport:
+    """What happened while building a database under a degradation policy.
+
+    Attributes:
+        requested: samples asked for.
+        valid: samples that survived all stages and the quality gate.
+        reused: samples restored from a checkpoint instead of recomputed.
+        retried: retry attempts spent across all samples.
+        resampled: replacement guidance draws consumed.
+        skipped: per-failure records for samples abandoned after retries.
+    """
+
+    requested: int = 0
+    valid: int = 0
+    reused: int = 0
+    retried: int = 0
+    resampled: int = 0
+    skipped: list[FailureRecord] = field(default_factory=list)
+
+    def failures_by_stage(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self.skipped:
+            out[record.stage] = out.get(record.stage, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        parts = [f"{self.valid}/{self.requested} valid"]
+        if self.reused:
+            parts.append(f"{self.reused} from checkpoint")
+        if self.retried:
+            parts.append(f"{self.retried} retries")
+        if self.resampled:
+            parts.append(f"{self.resampled} resampled")
+        if self.skipped:
+            by_stage = ", ".join(
+                f"{stage}: {count}"
+                for stage, count in sorted(self.failures_by_stage().items())
+            )
+            parts.append(f"skipped {len(self.skipped)} ({by_stage})")
+        return "; ".join(parts)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.placement.layout import Placement
+from repro.reliability.errors import RoutingError
 from repro.router.guidance import AccessPoint
 from repro.tech.layers import Direction
 from repro.tech.technology import Technology
@@ -167,7 +168,8 @@ class RoutingGrid:
                     if self.occupancy[candidate] >= 0:
                         continue
                     return candidate
-        raise RuntimeError("no free access cell found; grid exhausted")
+        raise RoutingError("no free access cell found; grid exhausted",
+                           stage="pin_access")
 
     # -- occupancy helpers ---------------------------------------------------------
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.netlist.nets import Net, NetType
+from repro.reliability.faults import maybe_inject
 from repro.router.astar import AStarRouter, CostParams
 from repro.router.grid import GridNode, RoutingGrid
 from repro.router.guidance import AccessPoint, RoutingGuidance
@@ -79,7 +80,12 @@ class IterativeRouter:
     # -- public API ---------------------------------------------------------------
 
     def route_all(self) -> RoutingResult:
-        """Route every net with >= 2 terminals; returns the full solution."""
+        """Route every net with >= 2 terminals; returns the full solution.
+
+        Raises :class:`~repro.reliability.errors.RoutingError` under an
+        active fault-injection plan for the ``"routing"`` stage.
+        """
+        maybe_inject("routing")
         result = RoutingResult()
         order = self._net_order()
         queue: list[str] = list(order)

@@ -9,6 +9,7 @@ import numpy as np
 from repro.extraction.parasitics import ParasiticNetwork
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import MOSFET
+from repro.reliability.faults import maybe_inject
 from repro.simulation.metrics import PerformanceMetrics
 from repro.simulation.smallsignal import V_OV, mismatch_factor
 from repro.simulation.testbench import Testbench, TestbenchConfig
@@ -157,7 +158,13 @@ def simulate_performance(
     config: TestbenchConfig | None = None,
     freqs: np.ndarray = DEFAULT_FREQS,
 ) -> PerformanceMetrics:
-    """Run all analyses and return the paper's five metrics."""
+    """Run all analyses and return the paper's five metrics.
+
+    Raises :class:`~repro.reliability.errors.SimulationError` on singular
+    systems, malformed testbenches, or under an active fault-injection
+    plan for the ``"simulation"`` stage.
+    """
+    maybe_inject("simulation")
     cfg = config or TestbenchConfig()
     bench = Testbench(circuit, parasitics, cfg)
     ac = ac_analysis(bench, freqs)

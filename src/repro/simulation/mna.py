@@ -10,7 +10,9 @@ injection vector.
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import lu_factor, lu_solve
+from scipy.linalg import LinAlgError, lu_factor, lu_solve
+
+from repro.reliability.errors import SimulationError
 
 #: Conductance from every node to ground, keeping G non-singular at DC for
 #: nodes reached only through capacitors or MOS gates.
@@ -109,12 +111,26 @@ class MnaSystem:
         self._g, self._c = g, c
 
     def factorized(self, freq: float):
-        """LU factorization of (G + j*2*pi*f*C); reusable across RHS."""
+        """LU factorization of (G + j*2*pi*f*C); reusable across RHS.
+
+        Raises:
+            SimulationError: the system matrix contains non-finite stamps
+                or cannot be factorized.
+        """
         if self._g is None:
             self._assemble()
         omega = 2.0 * np.pi * freq
         matrix = self._g.astype(complex) + 1j * omega * self._c
-        return lu_factor(matrix)
+        if not np.isfinite(matrix).all():
+            raise SimulationError(
+                f"MNA matrix has non-finite entries at {freq:g} Hz",
+                stage="simulation", details={"freq_hz": freq})
+        try:
+            return lu_factor(matrix)
+        except (LinAlgError, ValueError) as exc:
+            raise SimulationError(
+                f"MNA factorization failed at {freq:g} Hz: {exc}",
+                stage="simulation", details={"freq_hz": freq}) from exc
 
     def solve(
         self, freq: float, injections: dict[str, complex], factor=None
@@ -137,6 +153,13 @@ class MnaSystem:
             if idx >= 0:
                 rhs[idx] += current
         solution = lu_solve(factor, rhs)
+        if not np.isfinite(solution).all():
+            # An exactly singular matrix passes LU factorization but
+            # back-substitutes to inf/nan node voltages.
+            raise SimulationError(
+                f"singular MNA system at {freq:g} Hz "
+                f"(non-finite node voltages)",
+                stage="simulation", details={"freq_hz": freq})
         return {name: solution[i] for name, i in self._index.items()}
 
     def adjoint_solve(
@@ -159,7 +182,16 @@ class MnaSystem:
             idx = self.node(name)
             if idx >= 0:
                 rhs[idx] += weight
-        solution = np.linalg.solve(matrix, rhs)
+        try:
+            solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SimulationError(
+                f"adjoint MNA solve failed at {freq:g} Hz: {exc}",
+                stage="simulation", details={"freq_hz": freq}) from exc
+        if not np.isfinite(solution).all():
+            raise SimulationError(
+                f"singular adjoint MNA system at {freq:g} Hz",
+                stage="simulation", details={"freq_hz": freq})
         return {name: solution[i] for name, i in self._index.items()}
 
     def voltage(self, solution: dict[str, complex], name: str) -> complex:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.extraction.parasitics import ParasiticNetwork
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import Capacitor, MOSFET, Resistor
+from repro.reliability.errors import ReproError, SimulationError
 from repro.simulation.mna import MnaSystem
 from repro.simulation.smallsignal import mos_small_signal
 
@@ -67,7 +68,18 @@ class Testbench:
         self.system = MnaSystem()
         self.noise_sources: list[tuple[str, str, float, float]] = []
         self._terminal_node: dict[tuple[str, str], str] = {}
-        self._build()
+        try:
+            self._build()
+        except ReproError:
+            raise
+        except (ValueError, KeyError) as exc:
+            # A malformed parasitic network (negative caps, dangling
+            # terminals) becomes a typed, per-sample-skippable failure.
+            raise SimulationError(
+                f"testbench construction failed: {exc}",
+                stage="simulation",
+                details={"circuit": circuit.name},
+            ) from exc
 
     # -- node helpers -------------------------------------------------------------
 
