@@ -54,6 +54,10 @@ def test_fig5_runtime_breakdown(benchmark, scale):
     fractions = runtime_breakdown(result, placement_seconds)
     for stage, frac in fractions.items():
         benchmark.extra_info[stage] = round(frac, 4)
+    # Hot-path seconds from the pipeline's StageTimer — the same timers
+    # bench_perf.py records into BENCH_perf.json.
+    for stage, stats in result.stage_stats.items():
+        benchmark.extra_info[f"timer_{stage}_s"] = round(stats["seconds"], 4)
 
     # Shape: guided routing is a small slice; at representative scales
     # (fast and above) training is the largest ML stage, as in the paper.

@@ -1,0 +1,145 @@
+"""Performance benchmark harness: stage timings -> BENCH_perf.json.
+
+Runs the AnalogFold pipeline on OTA1 at the selected ``REPRO_SCALE`` (or
+``--scale``) with the pipeline's own :class:`repro.perf.timing.StageTimer`
+instrumentation, then records per-stage wall time (route / extract /
+simulate / train / relax, plus calls) and the batched-relaxation forward
+reduction into ``BENCH_perf.json`` at the repo root.
+
+Expected shape: the route stage dominates database construction, train
+dominates total time at representative scales, and batched relaxation
+performs several times fewer GNN forward-backward passes than serial
+restarts for the same restart count.
+
+Standalone usage (no pytest required)::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --scale smoke --check
+
+``--check`` compares against the committed ``BENCH_perf.json`` before
+overwriting it and exits non-zero when any stage regressed more than
+3x (CI's gate; slower-than-baseline runners get headroom via the noise
+floor in :func:`repro.perf.timing.compare_to_baseline`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import AnalogFold, build_benchmark, generic_40nm, place_benchmark
+from repro.core import PotentialFunction, PotentialRelaxer, RelaxationConfig
+from repro.eval.compare import SCALES
+from repro.perf.timing import (
+    bench_payload,
+    compare_to_baseline,
+    load_bench_json,
+    write_bench_json,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def measure(scale_name: str, workers: int = 1) -> dict:
+    """Run the instrumented pipeline and return the perf payload."""
+    scale = SCALES[scale_name]
+    circuit = build_benchmark("OTA1")
+    tech = generic_40nm()
+    placement = place_benchmark(circuit, variant="A", seed=0,
+                                iterations=scale.placement_iterations)
+
+    config = scale.analogfold_config(seed=0)
+    config.workers = workers
+    fold = AnalogFold(circuit, placement, tech, config=config)
+    result = fold.run()
+
+    # Forward-count comparison: serial vs batched relaxation on the
+    # just-trained model (separate potentials so the pipeline timer above
+    # stays untouched).  The restart structure is the paper-default
+    # 12-restart / pool-6 shape regardless of scale — at smoke scale the
+    # shrunken 3-restart config would understate the batching win (the
+    # reduction factor is ~ restarts per wave).
+    relax_kwargs = dict(
+        n_restarts=12,
+        pool_size=6,
+        n_derive=3,
+        maxiter=15,
+        seed=0,
+        seed_points=0,
+    )
+    pot = PotentialFunction(fold.model, fold.database.graph,
+                            c_max=config.dataset.c_max)
+    serial = PotentialRelaxer(RelaxationConfig(**relax_kwargs))
+    serial.run(pot)
+    pot.reset_stats()
+    batched = PotentialRelaxer(RelaxationConfig(**relax_kwargs, batched=True))
+    batched.run(pot)
+    forwards_serial = serial.trace.gnn_forwards
+    forwards_batched = batched.trace.gnn_forwards
+
+    return bench_payload(fold.timer, extra={
+        "scale": scale_name,
+        "workers": workers,
+        "circuit": "OTA1",
+        "figure5_stage_seconds": {
+            k: round(v, 4) for k, v in result.stage_seconds.items()
+        },
+        "relax_forwards_serial": forwards_serial,
+        "relax_forwards_batched": forwards_batched,
+        "relax_forward_reduction": round(
+            forwards_serial / max(forwards_batched, 1), 2),
+        "total_seconds": round(fold.timer.total_seconds(), 4),
+    })
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale",
+                        default=os.environ.get("REPRO_SCALE", "smoke"),
+                        choices=sorted(SCALES))
+    parser.add_argument("--workers", type=int, default=1,
+                        help="database-construction worker processes")
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="where to write the perf record")
+    parser.add_argument("--baseline", default=str(DEFAULT_OUT),
+                        help="committed baseline to compare against")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when a stage regressed > 3x vs baseline")
+    args = parser.parse_args(argv)
+
+    payload = measure(args.scale, workers=args.workers)
+
+    problems: list[str] = []
+    if args.check:
+        baseline = load_bench_json(args.baseline)
+        if baseline is None:
+            print(f"no baseline at {args.baseline}; skipping regression "
+                  f"check")
+        elif baseline.get("scale") != payload.get("scale"):
+            print(f"baseline scale {baseline.get('scale')!r} != current "
+                  f"{payload.get('scale')!r}; skipping regression check")
+        else:
+            problems = compare_to_baseline(payload, baseline)
+
+    out = write_bench_json(args.out, payload)
+    print(f"wrote {out}")
+    for name, stats in payload["stages"].items():
+        print(f"  {name}: {stats['seconds']:.3f}s over {stats['calls']} calls")
+    print(f"  relaxation forwards: {payload['relax_forwards_serial']} serial "
+          f"-> {payload['relax_forwards_batched']} batched "
+          f"({payload['relax_forward_reduction']}x fewer)")
+
+    if problems:
+        print("PERF REGRESSION:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,12 @@ completed sample can be checkpointed to a JSONL file and reused on resume.
 Only when fewer than the policy's ``min_valid_fraction`` of requested
 samples survive does construction abort, with a typed
 :class:`~repro.reliability.errors.DataQualityError`.
+
+Construction parallelizes across ``workers`` processes (see
+``docs/PERFORMANCE.md``): every sample's RNG inputs are derived from
+deterministic per-sample streams and the parent applies the degradation
+policy in submission order, so parallel output — database, construction
+report, and checkpoint file alike — is bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.graph import build_hetero_graph
 from repro.graph.hetero import HeteroGraph
 from repro.model.training import TrainSample
 from repro.netlist.circuit import Circuit
+from repro.perf.timing import StageTimer
 from repro.placement.layout import Placement
 from repro.reliability.checkpoint import (
     CheckpointWriter,
@@ -38,6 +45,7 @@ from repro.reliability.errors import (
     RoutingError,
     SimulationError,
 )
+from repro.reliability.faults import active_plans, fault_scope
 from repro.reliability.policy import (
     ConstructionReport,
     DegradationPolicy,
@@ -133,31 +141,39 @@ def route_and_measure(
     testbench_config: TestbenchConfig | None = None,
     routing_pitch: float = 0.5,
     sample_index: int | None = None,
+    timer: StageTimer | None = None,
 ) -> GuidanceSample:
     """Route one guidance setting and simulate the result.
 
     A fresh grid is built per call because routing mutates occupancy.
     Failures surface as typed :class:`~repro.reliability.errors.ReproError`
-    subclasses with the stage and sample index attached.
+    subclasses with the stage and sample index attached.  When ``timer``
+    is given, the route/extract/simulate stages report their wall time
+    into it.
     """
+    timer = timer if timer is not None else StageTimer()
     grid = RoutingGrid(placement, tech, pitch=routing_pitch)
     router = IterativeRouter(grid, guidance=guidance, config=router_config)
     try:
-        result = router.route_all()
+        with timer.stage("route"):
+            result = router.route_all()
     except ReproError as exc:
         raise exc.with_context(stage="routing", sample_index=sample_index)
     except Exception as exc:
         raise RoutingError(str(exc), stage="routing",
                            sample_index=sample_index) from exc
     try:
-        parasitics = extract(result, grid, tech)
+        with timer.stage("extract"):
+            parasitics = extract(result, grid, tech)
     except ReproError as exc:
         raise exc.with_context(stage="extraction", sample_index=sample_index)
     except Exception as exc:
         raise ExtractionError(str(exc), stage="extraction",
                               sample_index=sample_index) from exc
     try:
-        metrics = simulate_performance(circuit, parasitics, testbench_config)
+        with timer.stage("simulate"):
+            metrics = simulate_performance(circuit, parasitics,
+                                           testbench_config)
     except ReproError as exc:
         raise exc.with_context(stage="simulation", sample_index=sample_index)
     except Exception as exc:
@@ -178,7 +194,30 @@ def _perturb_guidance(
     return out
 
 
-def _attempt_sample(
+@dataclass
+class AttemptOutcome:
+    """Result of one sample attempt (with retries), process-portable.
+
+    Workers return this to the parent, which applies the degradation
+    policy; the serial path produces the identical structure so both
+    modes share one bookkeeping code path.
+
+    Attributes:
+        index: the attempted sample index.
+        sample: the completed sample, or ``None`` when abandoned.
+        retries: retry attempts consumed (0 when the first try succeeded).
+        failure: the skip record when abandoned after retries.
+        stage_timer: route/extract/simulate wall time of this attempt.
+    """
+
+    index: int
+    sample: GuidanceSample | None
+    retries: int = 0
+    failure: FailureRecord | None = None
+    stage_timer: StageTimer = field(default_factory=StageTimer)
+
+
+def attempt_sample(
     circuit: Circuit,
     placement: Placement,
     tech,
@@ -186,11 +225,17 @@ def _attempt_sample(
     index: int,
     cfg: DatasetConfig,
     policy: DegradationPolicy,
-    report: ConstructionReport,
     router_config: RouterConfig | None,
     testbench_config: TestbenchConfig | None,
-) -> GuidanceSample | None:
-    """One sample with retries; ``None`` when abandoned after retries."""
+) -> AttemptOutcome:
+    """One sample with retries, as a pure function of its arguments.
+
+    All RNG use is derived from ``(policy.retry_seed, index, attempt)``,
+    and fault-injection calls are attributed to unit ``index`` via
+    :func:`~repro.reliability.faults.fault_scope` — so the outcome is
+    identical whether this runs in the parent process or a pool worker.
+    """
+    outcome = AttemptOutcome(index=index, sample=None)
 
     def build(guidance: RoutingGuidance = guidance) -> GuidanceSample:
         sample = route_and_measure(
@@ -199,6 +244,7 @@ def _attempt_sample(
             testbench_config=testbench_config,
             routing_pitch=cfg.routing_pitch,
             sample_index=index,
+            timer=outcome.stage_timer,
         )
         reason = validate_sample(sample, require_routed=policy.require_routed)
         if reason is not None:
@@ -206,24 +252,25 @@ def _attempt_sample(
         return sample
 
     def reseed(attempt: int, _kwargs: dict) -> dict:
-        report.retried += 1
+        outcome.retries += 1
         return {"guidance": _perturb_guidance(
             guidance, [policy.retry_seed, index, attempt], policy.retry_noise)}
 
     try:
-        return retry_call(
-            build,
-            policy=RetryPolicy(max_attempts=policy.max_retries + 1),
-            reseed=reseed,
-        )
+        with fault_scope(index):
+            outcome.sample = retry_call(
+                build,
+                policy=RetryPolicy(max_attempts=policy.max_retries + 1),
+                reseed=reseed,
+            )
     except ReproError as exc:
-        report.skipped.append(FailureRecord(
+        outcome.failure = FailureRecord(
             sample_index=index,
             stage=exc.stage or "unknown",
             error=exc.message,
             attempts=policy.max_retries + 1,
-        ))
-        return None
+        )
+    return outcome
 
 
 def generate_dataset(
@@ -236,6 +283,8 @@ def generate_dataset(
     policy: DegradationPolicy | None = None,
     checkpoint_path=None,
     resume: bool = False,
+    workers: int = 1,
+    timer: StageTimer | None = None,
 ) -> Database:
     """Build the training database for one (circuit, placement) design.
 
@@ -247,6 +296,12 @@ def generate_dataset(
         resume: reuse samples already present in ``checkpoint_path``
             (validated against the run fingerprint) instead of
             recomputing them.
+        workers: worker processes for sample construction; 1 runs
+            in-process.  Output is bit-identical across worker counts
+            (deterministic per-sample RNG streams; the parent applies
+            the degradation policy in submission order).
+        timer: optional stage timer absorbing per-sample
+            route/extract/simulate wall time.
 
     Raises:
         DataQualityError: fewer than the policy's floor of valid samples
@@ -256,6 +311,8 @@ def generate_dataset(
     """
     cfg = config or DatasetConfig()
     pol = policy or DegradationPolicy()
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     rng = np.random.default_rng(cfg.seed)
 
     reference_grid = RoutingGrid(placement, tech, pitch=cfg.routing_pitch)
@@ -286,11 +343,40 @@ def generate_dataset(
     resamples_left = pol.resamples_for(cfg.num_samples)
     next_index = cfg.num_samples
 
+    pool = None
+    futures: dict[int, object] = {}  # pending position -> Future
+    if workers > 1:
+        from repro.perf.parallel import ParallelConfig, SamplePool
+
+        pool = SamplePool(
+            context={
+                "circuit": circuit,
+                "placement": placement,
+                "tech": tech,
+                "config": cfg,
+                "policy": pol,
+                "router_config": router_config,
+                "testbench_config": testbench_config,
+                "fault_plans": active_plans(),
+            },
+            config=ParallelConfig(workers=workers),
+        )
+
+    def schedule(position: int, index: int, guidance: RoutingGuidance) -> None:
+        if pool is not None and index not in completed:
+            futures[position] = pool.submit(index, guidance)
+
     try:
         pending = list(enumerate(guidances[: cfg.num_samples]))
+        for position, (index, guidance) in enumerate(pending):
+            schedule(position, index, guidance)
+        # Results are consumed in submission order regardless of worker
+        # completion order, so samples, checkpoint lines, skip records,
+        # and resample draws are sequenced exactly as a serial run.
         cursor = 0
         while cursor < len(pending):
             index, guidance = pending[cursor]
+            position = cursor
             cursor += 1
             reused = completed.get(index)
             if reused is not None:
@@ -298,23 +384,34 @@ def generate_dataset(
                 report.reused += 1
                 report.valid += 1
                 continue
-            sample = _attempt_sample(
-                circuit, placement, tech, guidance, index, cfg, pol, report,
-                router_config, testbench_config,
-            )
-            if sample is not None:
-                database.samples.append(sample)
+            if pool is not None:
+                outcome = futures.pop(position).result()
+            else:
+                outcome = attempt_sample(
+                    circuit, placement, tech, guidance, index, cfg, pol,
+                    router_config, testbench_config,
+                )
+            report.retried += outcome.retries
+            if timer is not None:
+                timer.absorb(outcome.stage_timer)
+            if outcome.sample is not None:
+                database.samples.append(outcome.sample)
                 report.valid += 1
                 if writer is not None:
-                    writer.append_sample(index, sample)
-            elif resamples_left > 0:
-                resamples_left -= 1
-                report.resampled += 1
-                pending.append((next_index,
-                                random_guidance(keys, resample_rng,
-                                                c_max=cfg.c_max)))
-                next_index += 1
+                    writer.append_sample(index, outcome.sample)
+            else:
+                report.skipped.append(outcome.failure)
+                if resamples_left > 0:
+                    resamples_left -= 1
+                    report.resampled += 1
+                    pending.append((next_index,
+                                    random_guidance(keys, resample_rng,
+                                                    c_max=cfg.c_max)))
+                    next_index += 1
+                    schedule(len(pending) - 1, *pending[-1])
     finally:
+        if pool is not None:
+            pool.close()
         if writer is not None:
             writer.close()
 

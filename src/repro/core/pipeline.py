@@ -25,6 +25,7 @@ from repro.core.potential import PotentialFunction
 from repro.core.relaxation import PotentialRelaxer, RelaxationConfig, RelaxedGuidance
 from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
 from repro.netlist.circuit import Circuit
+from repro.perf.timing import StageTimer
 from repro.placement.layout import Placement
 from repro.reliability.errors import RelaxationError, ReproError, RoutingError
 from repro.reliability.policy import DegradationPolicy
@@ -59,6 +60,9 @@ class AnalogFoldConfig:
     #: Reuse completed samples from ``checkpoint_path`` instead of
     #: rebuilding them.
     resume: bool = False
+    #: Worker processes for database construction (1 = in-process);
+    #: parallel output is bit-identical to serial.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.select_by not in ("potential", "simulation"):
@@ -76,6 +80,10 @@ class AnalogFoldResult:
         derived: all relaxation outputs (top-N_derive).
         stage_seconds: wall-clock per stage, keyed by stage name
             (Figure 5's categories).
+        stage_stats: fine-grained hot-path timings from the pipeline's
+            :class:`~repro.perf.timing.StageTimer` —
+            ``{stage: {"seconds": s, "calls": n}}`` over the canonical
+            route/extract/simulate/train/relax stages.
         candidate_foms: measured FoM of every routed candidate, in
             evaluation order (derived guidances first, then the database
             best when ``include_database_best``); ``inf`` marks a
@@ -92,6 +100,7 @@ class AnalogFoldResult:
     metrics: PerformanceMetrics
     derived: list[RelaxedGuidance] = field(default_factory=list)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    stage_stats: dict[str, dict[str, float]] = field(default_factory=dict)
     candidate_foms: list[float] = field(default_factory=list)
     winner_index: int = 0
     winner_source: str = "derived"
@@ -132,6 +141,9 @@ class AnalogFold:
         self.database: Database | None = None
         self.model: Gnn3d | None = None
         self.stage_seconds: dict[str, float] = {}
+        #: Hot-path timer fed by every stage (route/extract/simulate via
+        #: dataset construction and guided routing, train, relax).
+        self.timer = StageTimer()
 
     # -- stages ---------------------------------------------------------------------
 
@@ -146,6 +158,8 @@ class AnalogFold:
             policy=self.config.policy,
             checkpoint_path=self.config.checkpoint_path,
             resume=self.config.resume,
+            workers=self.config.workers,
+            timer=self.timer,
         )
         self.stage_seconds["construct_database"] = time.perf_counter() - start
         return self.database
@@ -162,7 +176,8 @@ class AnalogFold:
             self.config.gnn,
         )
         trainer = Trainer(self.model, graph, self.config.training)
-        trainer.fit(self.database.train_samples())
+        with self.timer.stage("train"):
+            trainer.fit(self.database.train_samples())
         self.stage_seconds["model_training"] = time.perf_counter() - start
         return self.model
 
@@ -176,7 +191,9 @@ class AnalogFold:
             c_max=self.config.dataset.c_max,
         )
         relaxer = PotentialRelaxer(self.config.relaxation)
-        derived = relaxer.run(potential, seed_guidance=self._best_database_guidance())
+        with self.timer.stage("relax"):
+            derived = relaxer.run(
+                potential, seed_guidance=self._best_database_guidance())
         self.stage_seconds["guide_generation"] = time.perf_counter() - start
         return derived
 
@@ -198,6 +215,7 @@ class AnalogFold:
             router_config=self.config.router,
             testbench_config=self.config.testbench,
             routing_pitch=self.config.dataset.routing_pitch,
+            timer=self.timer,
         )
 
     # -- orchestration -----------------------------------------------------------------
@@ -263,6 +281,7 @@ class AnalogFold:
             metrics=best_sample.metrics,
             derived=derived,
             stage_seconds=dict(self.stage_seconds),
+            stage_stats=self.timer.to_dict(),
             candidate_foms=candidate_foms,
             winner_index=winner_index,
             winner_source=winner_source,

@@ -8,6 +8,8 @@ component inside the open feasible region ``(0, c_max)``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.graph.hetero import HeteroGraph
@@ -15,6 +17,25 @@ from repro.model.gnn3d import Gnn3d
 from repro.nn import Tensor
 from repro.reliability.errors import RelaxationError
 from repro.simulation.metrics import FoMWeights
+
+
+@dataclass
+class PotentialStats:
+    """Evaluation counters (reset with :meth:`PotentialFunction.reset_stats`).
+
+    Attributes:
+        evals: scalar :meth:`~PotentialFunction.value_and_grad` calls.
+        batched_evals: :meth:`~PotentialFunction.value_and_grad_batch` calls.
+        candidates: total candidates across all batched evaluations.
+        forwards: GNN forward-backward passes actually executed — the
+            quantity batching reduces (one batched eval of ``B``
+            candidates costs one forward instead of ``B``).
+    """
+
+    evals: int = 0
+    batched_evals: int = 0
+    candidates: int = 0
+    forwards: int = 0
 
 
 class PotentialFunction:
@@ -46,10 +67,16 @@ class PotentialFunction:
         self.c_max = c_max
         self.barrier_r = barrier_r
         self._w_signed = self.weights.as_signed_vector()
+        self.stats = PotentialStats()
 
     @property
     def num_variables(self) -> int:
         return self.graph.num_aps * 3
+
+    def reset_stats(self) -> PotentialStats:
+        """Install and return fresh evaluation counters."""
+        self.stats = PotentialStats()
+        return self.stats
 
     def barrier(self, c: Tensor) -> Tensor:
         """Interior-point penalty ``g(C)`` of Eq. 8."""
@@ -63,6 +90,7 @@ class PotentialFunction:
         Infeasible inputs (outside the open region) return +inf with a
         gradient pushing back toward feasibility, so line searches recover.
         """
+        self.stats.evals += 1
         c_arr = np.asarray(c_flat, dtype=float).reshape(self.graph.num_aps, 3)
         eps = 1e-9
         if (c_arr <= eps).any() or (c_arr >= self.c_max - eps).any():
@@ -70,6 +98,7 @@ class PotentialFunction:
                 c_arr >= self.c_max - eps, 1.0, 0.0))
             return float("inf"), grad.reshape(-1)
 
+        self.stats.forwards += 1
         c = Tensor(c_arr, requires_grad=True)
         pred = self.model(self.graph, c)
         fom = (pred * Tensor(self._w_signed)).sum()
@@ -87,6 +116,67 @@ class PotentialFunction:
                          "grad_finite": bool(np.isfinite(grad).all())},
             )
         return value, grad
+
+    def value_and_grad_batch(
+        self, c_batch: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Potentials and gradients for ``B`` candidates in one forward.
+
+        The candidates are independent (the batched GNN forward runs them
+        as a disjoint union, and barrier terms are per-row), so row ``b``
+        of the returned ``(B,)`` values and ``(B, num_variables)``
+        gradients equals a scalar :meth:`value_and_grad` of that row —
+        while the whole batch costs a single forward-backward pass.
+
+        Infeasible rows get ``+inf`` and a push-back gradient, like the
+        scalar path; feasible rows are unaffected by them.
+        """
+        c_arr = np.asarray(c_batch, dtype=float)
+        if c_arr.ndim != 2 or c_arr.shape[1] != self.num_variables:
+            raise ValueError(
+                f"candidate batch shape {c_arr.shape} != "
+                f"(B, {self.num_variables})"
+            )
+        batch = c_arr.shape[0]
+        self.stats.batched_evals += 1
+        self.stats.candidates += batch
+
+        eps = 1e-9
+        infeasible = ((c_arr <= eps) | (c_arr >= self.c_max - eps)
+                      ).any(axis=1)
+        # Clip so infeasible rows still flow through log/forward without
+        # NaN; their outputs are overwritten below.
+        c_safe = np.clip(c_arr, eps * 2, self.c_max - eps * 2)
+
+        self.stats.forwards += 1
+        c = Tensor(c_safe.reshape(batch, self.graph.num_aps, 3),
+                   requires_grad=True)
+        pred = self.model(self.graph, c)  # (B, num_metrics)
+        fom = (pred * Tensor(np.tile(self._w_signed, (batch, 1)))).sum(axis=1)
+        flat = c.reshape(batch, self.num_variables)
+        barrier = (flat.log()
+                   + (Tensor(np.array(self.c_max)) - flat).log()
+                   ).sum(axis=1) * (-self.barrier_r)
+        total = fom + barrier  # (B,)
+        total.sum().backward()
+        values = total.numpy().astype(float).copy()
+        grads = c.grad.reshape(batch, self.num_variables).copy()
+        if not np.isfinite(values).all() or not np.isfinite(grads).all():
+            raise RelaxationError(
+                "non-finite batched potential evaluation",
+                stage="relaxation",
+                details={
+                    "values_finite": bool(np.isfinite(values).all()),
+                    "grads_finite": bool(np.isfinite(grads).all()),
+                },
+            )
+        if infeasible.any():
+            values[infeasible] = float("inf")
+            push = np.where(c_arr <= eps, -1.0, np.where(
+                c_arr >= self.c_max - eps, 1.0, 0.0))
+            grads[infeasible] = push.reshape(
+                batch, self.num_variables)[infeasible]
+        return values, grads
 
     def value(self, c_flat: np.ndarray) -> float:
         return self.value_and_grad(c_flat)[0]

@@ -12,9 +12,18 @@ potential or guidance (or raises a
 evaluation) is dropped and recorded in the trace instead of aborting the
 run.  Only when *no* restart survives does :meth:`PotentialRelaxer.run`
 raise, with the trace attached for diagnosis.
+
+With ``RelaxationConfig.batched`` the restarts run in two *waves*
+(pool-building, then pool-seeded), each as one joint L-BFGS-B over the
+concatenated restart variables: the objective is the sum of the per-restart
+potentials, whose gradient blocks are independent, so every joint function
+evaluation is a single batched GNN forward-backward over all active
+restarts instead of one forward per restart (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
+
+import time
 
 from dataclasses import dataclass, field
 
@@ -44,6 +53,12 @@ class RelaxationConfig:
             guidance distributions of the database, not only from a uniform
             prior).
         seed: RNG seed.
+        batched: run restarts in two joint waves sharing one batched GNN
+            forward per function evaluation, instead of one L-BFGS run per
+            restart.  Several times fewer forwards for the same number of
+            restarts; solutions are valid minima of the same potential but
+            not bit-identical to serial restarts (the joint optimizer
+            couples line searches).
     """
 
     n_restarts: int = 12
@@ -56,6 +71,7 @@ class RelaxationConfig:
     init_high: float = 2.0
     seed_points: int = 2
     seed: int = 0
+    batched: bool = False
 
     def __post_init__(self) -> None:
         if self.n_derive > self.pool_size:
@@ -102,6 +118,13 @@ class RelaxationTrace:
         failures: per-dropped-restart descriptions, e.g.
             ``"restart 3: non-finite potential nan"``.
         best_per_restart: best pool potential after each kept restart.
+        restart_seconds: wall time per attempted restart, in restart
+            order (batched mode amortizes each wave's time evenly over
+            its restarts).
+        restart_evals: potential evaluations per attempted restart — in
+            batched mode, the number of joint evaluations of the
+            restart's wave (each one touches the restart exactly once).
+        gnn_forwards: GNN forward-backward passes the whole run executed.
     """
 
     restarts: int = 0
@@ -109,6 +132,9 @@ class RelaxationTrace:
     diverged: int = 0
     failures: list[str] = field(default_factory=list)
     best_per_restart: list[float] = field(default_factory=list)
+    restart_seconds: list[float] = field(default_factory=list)
+    restart_evals: list[int] = field(default_factory=list)
+    gnn_forwards: int = 0
 
 
 class PotentialRelaxer:
@@ -139,68 +165,14 @@ class PotentialRelaxer:
         # Fresh diagnostics per run; a reused relaxer must not accumulate.
         self.trace = RelaxationTrace()
         rng = np.random.default_rng(cfg.seed)
-        num_aps = potential.graph.num_aps
-        n_vars = potential.num_variables
-        margin = 1e-3
-        bounds = [(margin, potential.c_max - margin)] * n_vars
         seeds = list(seed_guidance or [])[: cfg.seed_points]
+        start_forwards = potential.stats.forwards
 
-        pool: list[RelaxedGuidance] = []
-        for restart in range(cfg.n_restarts):
-            from_pool = len(pool) >= cfg.pool_size and rng.random() < cfg.p_relax
-            if restart < len(seeds):
-                x0 = np.asarray(seeds[restart], dtype=float).reshape(-1)
-                if x0.shape != (n_vars,):
-                    raise ValueError(
-                        f"seed guidance has {x0.size} values, expected {n_vars}"
-                    )
-                from_pool = False
-            elif from_pool:
-                seed_sol = pool[rng.integers(len(pool))]
-                x0 = seed_sol.guidance.reshape(-1) + rng.normal(
-                    0.0, cfg.noise_sigma, size=n_vars
-                )
-                self.trace.pool_seeded += 1
-            else:
-                x0 = rng.uniform(cfg.init_low, cfg.init_high, size=n_vars)
-            x0 = np.clip(x0, margin * 2, potential.c_max - margin * 2)
-
-            try:
-                result = minimize(
-                    potential.value_and_grad,
-                    x0,
-                    jac=True,
-                    method="L-BFGS-B",
-                    bounds=bounds,
-                    options={"maxiter": cfg.maxiter},
-                )
-            except RelaxationError as exc:
-                self.trace.diverged += 1
-                self.trace.failures.append(f"restart {restart}: {exc}")
-                continue
-            value = poison("relaxation", float(result.fun))
-            if not np.isfinite(value):
-                self.trace.diverged += 1
-                self.trace.failures.append(
-                    f"restart {restart}: non-finite potential {value}")
-                continue
-            if not np.isfinite(result.x).all():
-                self.trace.diverged += 1
-                self.trace.failures.append(
-                    f"restart {restart}: non-finite guidance")
-                continue
-
-            solution = RelaxedGuidance(
-                guidance=np.clip(result.x, margin, potential.c_max - margin)
-                .reshape(num_aps, 3),
-                potential=value,
-                from_pool=from_pool,
-            )
-            pool.append(solution)
-            pool.sort(key=lambda s: s.potential)
-            del pool[cfg.pool_size:]
-            self.trace.restarts += 1
-            self.trace.best_per_restart.append(pool[0].potential)
+        if cfg.batched:
+            pool = self._run_batched(potential, rng, seeds)
+        else:
+            pool = self._run_serial(potential, rng, seeds)
+        self.trace.gnn_forwards = potential.stats.forwards - start_forwards
 
         if not pool:
             raise RelaxationError(
@@ -214,3 +186,199 @@ class PotentialRelaxer:
                 },
             )
         return pool[: cfg.n_derive]
+
+    @staticmethod
+    def _seed_point(seed_guidance: np.ndarray, n_vars: int) -> np.ndarray:
+        x0 = np.asarray(seed_guidance, dtype=float).reshape(-1)
+        if x0.shape != (n_vars,):
+            raise ValueError(
+                f"seed guidance has {x0.size} values, expected {n_vars}"
+            )
+        return x0
+
+    def _keep(self, pool: list[RelaxedGuidance], restart: int,
+              x: np.ndarray, raw_value: float, from_pool: bool,
+              potential: PotentialFunction) -> None:
+        """Pool-selection bookkeeping shared by serial and batched runs."""
+        cfg = self.config
+        value = poison("relaxation", raw_value)
+        if not np.isfinite(value):
+            self.trace.diverged += 1
+            self.trace.failures.append(
+                f"restart {restart}: non-finite potential {value}")
+            return
+        if not np.isfinite(x).all():
+            self.trace.diverged += 1
+            self.trace.failures.append(
+                f"restart {restart}: non-finite guidance")
+            return
+        margin = 1e-3
+        solution = RelaxedGuidance(
+            guidance=np.clip(x, margin, potential.c_max - margin)
+            .reshape(potential.graph.num_aps, 3),
+            potential=value,
+            from_pool=from_pool,
+        )
+        pool.append(solution)
+        pool.sort(key=lambda s: s.potential)
+        del pool[cfg.pool_size:]
+        self.trace.restarts += 1
+        self.trace.best_per_restart.append(pool[0].potential)
+
+    def _run_serial(
+        self,
+        potential: PotentialFunction,
+        rng: np.random.Generator,
+        seeds: list[np.ndarray],
+    ) -> list[RelaxedGuidance]:
+        """One L-BFGS run per restart (the paper's reference loop)."""
+        cfg = self.config
+        n_vars = potential.num_variables
+        margin = 1e-3
+        bounds = [(margin, potential.c_max - margin)] * n_vars
+
+        pool: list[RelaxedGuidance] = []
+        for restart in range(cfg.n_restarts):
+            from_pool = len(pool) >= cfg.pool_size and rng.random() < cfg.p_relax
+            if restart < len(seeds):
+                x0 = self._seed_point(seeds[restart], n_vars)
+                from_pool = False
+            elif from_pool:
+                seed_sol = pool[rng.integers(len(pool))]
+                x0 = seed_sol.guidance.reshape(-1) + rng.normal(
+                    0.0, cfg.noise_sigma, size=n_vars
+                )
+                self.trace.pool_seeded += 1
+            else:
+                x0 = rng.uniform(cfg.init_low, cfg.init_high, size=n_vars)
+            x0 = np.clip(x0, margin * 2, potential.c_max - margin * 2)
+
+            evals_before = potential.stats.evals
+            started = time.perf_counter()
+            try:
+                result = minimize(
+                    potential.value_and_grad,
+                    x0,
+                    jac=True,
+                    method="L-BFGS-B",
+                    bounds=bounds,
+                    options={"maxiter": cfg.maxiter},
+                )
+            except RelaxationError as exc:
+                self.trace.restart_seconds.append(
+                    time.perf_counter() - started)
+                self.trace.restart_evals.append(
+                    potential.stats.evals - evals_before)
+                self.trace.diverged += 1
+                self.trace.failures.append(f"restart {restart}: {exc}")
+                continue
+            self.trace.restart_seconds.append(time.perf_counter() - started)
+            self.trace.restart_evals.append(
+                potential.stats.evals - evals_before)
+            self._keep(pool, restart, result.x, float(result.fun),
+                       from_pool, potential)
+        return pool
+
+    def _run_batched(
+        self,
+        potential: PotentialFunction,
+        rng: np.random.Generator,
+        seeds: list[np.ndarray],
+    ) -> list[RelaxedGuidance]:
+        """Restarts in two joint waves, one batched forward per evaluation.
+
+        Wave 1 builds the pool (seed points, then uniform draws); wave 2
+        re-initializes from the pool with probability ``p_relax``, like
+        the serial loop once the pool is full.  Each wave minimizes the
+        *sum* of its restarts' potentials over the concatenated variables:
+        the gradient blocks are independent, so the joint L-BFGS walks
+        every restart downhill while paying one batched GNN
+        forward-backward per function evaluation.
+        """
+        cfg = self.config
+        n_vars = potential.num_variables
+
+        pool: list[RelaxedGuidance] = []
+        wave1 = min(cfg.n_restarts, max(cfg.pool_size, len(seeds), 1))
+        inits: list[tuple[np.ndarray, bool]] = []
+        for restart in range(wave1):
+            if restart < len(seeds):
+                x0 = self._seed_point(seeds[restart], n_vars)
+            else:
+                x0 = rng.uniform(cfg.init_low, cfg.init_high, size=n_vars)
+            inits.append((x0, False))
+        self._wave(potential, pool, inits, restart_offset=0)
+
+        inits = []
+        for _ in range(wave1, cfg.n_restarts):
+            from_pool = (len(pool) >= cfg.pool_size
+                         and rng.random() < cfg.p_relax)
+            if from_pool:
+                seed_sol = pool[rng.integers(len(pool))]
+                x0 = seed_sol.guidance.reshape(-1) + rng.normal(
+                    0.0, cfg.noise_sigma, size=n_vars
+                )
+                self.trace.pool_seeded += 1
+            else:
+                x0 = rng.uniform(cfg.init_low, cfg.init_high, size=n_vars)
+            inits.append((x0, from_pool))
+        if inits:
+            self._wave(potential, pool, inits, restart_offset=wave1)
+        return pool
+
+    def _wave(
+        self,
+        potential: PotentialFunction,
+        pool: list[RelaxedGuidance],
+        inits: list[tuple[np.ndarray, bool]],
+        restart_offset: int,
+    ) -> None:
+        """Jointly minimize one wave of restarts and fold them into the pool."""
+        cfg = self.config
+        n_vars = potential.num_variables
+        wave = len(inits)
+        margin = 1e-3
+        bounds = [(margin, potential.c_max - margin)] * (n_vars * wave)
+        x0 = np.concatenate([
+            np.clip(x, margin * 2, potential.c_max - margin * 2)
+            for x, _ in inits
+        ])
+
+        def objective(x_joint: np.ndarray) -> tuple[float, np.ndarray]:
+            values, grads = potential.value_and_grad_batch(
+                x_joint.reshape(wave, n_vars))
+            return float(values.sum()), grads.reshape(-1)
+
+        evals_before = potential.stats.batched_evals
+        started = time.perf_counter()
+        try:
+            result = minimize(
+                objective,
+                x0,
+                jac=True,
+                method="L-BFGS-B",
+                bounds=bounds,
+                options={"maxiter": cfg.maxiter},
+            )
+            # One more batched eval for the final per-restart values (the
+            # joint ``result.fun`` only exposes their sum).
+            values, _ = potential.value_and_grad_batch(
+                result.x.reshape(wave, n_vars))
+        except RelaxationError as exc:
+            elapsed = time.perf_counter() - started
+            evals = potential.stats.batched_evals - evals_before
+            for i in range(wave):
+                self.trace.restart_seconds.append(elapsed / wave)
+                self.trace.restart_evals.append(evals)
+                self.trace.diverged += 1
+                self.trace.failures.append(
+                    f"restart {restart_offset + i}: {exc}")
+            return
+        elapsed = time.perf_counter() - started
+        evals = potential.stats.batched_evals - evals_before
+        xs = result.x.reshape(wave, n_vars)
+        for i in range(wave):
+            self.trace.restart_seconds.append(elapsed / wave)
+            self.trace.restart_evals.append(evals)
+            self._keep(pool, restart_offset + i, xs[i], float(values[i]),
+                       inits[i][1], potential)

@@ -52,6 +52,11 @@ class HeteroGraph:
     ap_features: np.ndarray
     module_features: np.ndarray
     edges: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+    #: Memoized ``directed_edges`` output per edge type, keyed by the
+    #: identity of the underlying pair array so replacing ``edges[et]``
+    #: invalidates the entry.  Excluded from comparison/repr.
+    _directed_cache: dict = field(
+        default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.ap_keys) != len(self.ap_nets):
@@ -89,14 +94,25 @@ class HeteroGraph:
         return np.vstack([self.ap_positions, self.module_positions])
 
     def directed_edges(self, edge_type: EdgeType) -> tuple[np.ndarray, np.ndarray]:
-        """Source and destination index arrays with both directions expanded."""
+        """Source and destination index arrays with both directions expanded.
+
+        Built once per graph and memoized: the expansion sits on the GNN's
+        per-forward path (training evaluates it for every sample, potential
+        relaxation for every L-BFGS function evaluation), but depends only
+        on the static edge list.  Swapping ``edges[edge_type]`` for a new
+        array invalidates the cached entry.
+        """
         pairs = self.edges.get(edge_type)
         if pairs is None or len(pairs) == 0:
             empty = np.zeros(0, dtype=np.int64)
             return empty, empty
-        src = np.concatenate([pairs[:, 0], pairs[:, 1]])
-        dst = np.concatenate([pairs[:, 1], pairs[:, 0]])
-        return src.astype(np.int64), dst.astype(np.int64)
+        entry = self._directed_cache.get(edge_type)
+        if entry is not None and entry[0] == id(pairs) and entry[1] == len(pairs):
+            return entry[2]
+        src = np.concatenate([pairs[:, 0], pairs[:, 1]]).astype(np.int64)
+        dst = np.concatenate([pairs[:, 1], pairs[:, 0]]).astype(np.int64)
+        self._directed_cache[edge_type] = (id(pairs), len(pairs), (src, dst))
+        return src, dst
 
     def ap_index_of_key(self, key: tuple[str, str]) -> int:
         """Index of an access point by its (device, pin) identity."""

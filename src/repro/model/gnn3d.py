@@ -19,6 +19,7 @@ import numpy as np
 from repro.graph.hetero import EdgeType, HeteroGraph
 from repro.model.heads import NUM_METRICS, ReadoutHead
 from repro.nn import MLP, Module, RBFExpansion, Tensor, concat, segment_sum
+from repro.perf.cache import BatchedStatics, ForwardCacheStore, GraphStatics
 
 
 @dataclass(frozen=True)
@@ -111,36 +112,31 @@ class Gnn3d(Module):
             for _ in range(cfg.num_layers)
         ]
         self.head = ReadoutHead(cfg.hidden, rng, NUM_METRICS)
+        self.cache = ForwardCacheStore()
 
     # -- distance machinery ------------------------------------------------------
 
     def _edge_distances(
-        self, graph: HeteroGraph, guidance: Tensor,
-        edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]],
+        self, guidance_all: Tensor, statics: GraphStatics | BatchedStatics
     ) -> dict[EdgeType, Tensor]:
         """Cost-aware distance features per edge type (Eq. 1-3).
 
         ``C_k`` of the *receiving* node modulates the (h, w, z) decomposition
-        of the edge vector; module receivers use neutral guidance.
+        of the edge vector; module receivers use neutral guidance.  The
+        decomposition itself (``|pos[dst] - pos[src]|``) is
+        guidance-independent and comes precomputed from ``statics``.
         """
-        positions = graph.positions
-        num_aps = graph.num_aps
-        num_modules = graph.num_modules
-        neutral = Tensor(np.ones((num_modules, 3)))
-        guidance_all = concat([guidance, neutral], axis=0) if num_modules else guidance
-
         feats: dict[EdgeType, Tensor] = {}
-        for edge_type, (src, dst) in edge_cache.items():
+        for edge_type, (src, dst) in statics.edge_cache.items():
             if len(src) == 0:
                 feats[edge_type] = Tensor(np.zeros((0, 1)))
                 continue
-            deltas = np.abs(positions[dst] - positions[src])  # (E, 3): h, w, z
             if self.config.use_cost_distance:
                 c_recv = guidance_all.gather_rows(dst)
-                weighted = c_recv * Tensor(deltas)
+                weighted = c_recv * Tensor(statics.deltas[edge_type])
+                dist = ((weighted * weighted).sum(axis=1) + 1e-6).sqrt()
             else:
-                weighted = Tensor(deltas)
-            dist = ((weighted * weighted).sum(axis=1) + 1e-6).sqrt()
+                dist = Tensor(statics.euclidean(edge_type))
             if self.config.use_rbf:
                 feats[edge_type] = self.rbf(dist)
             else:
@@ -156,23 +152,64 @@ class Gnn3d(Module):
             graph: the heterogeneous routing graph.
             guidance: (num_aps, 3) tensor of per-AP guidance vectors, in the
                 order of ``graph.ap_keys``.  Mark ``requires_grad`` to get
-                ``dV/dC`` after ``backward()``.
+                ``dV/dC`` after ``backward()``.  A (B, num_aps, 3) tensor
+                evaluates ``B`` guidance candidates in one batched pass
+                over a disjoint union of ``B`` graph replicas.
 
         Returns:
             Length-5 tensor of normalized metric predictions (see
-            :meth:`repro.simulation.metrics.PerformanceMetrics.to_normalized`).
+            :meth:`repro.simulation.metrics.PerformanceMetrics.to_normalized`),
+            or a (B, 5) tensor for batched guidance.
         """
+        if guidance.ndim == 3:
+            return self._forward_batched(graph, guidance)
         if guidance.shape != (graph.num_aps, 3):
             raise ValueError(
                 f"guidance shape {guidance.shape} != ({graph.num_aps}, 3)"
             )
-        edge_cache = {et: graph.directed_edges(et) for et in EdgeType}
-        dist_feats = self._edge_distances(graph, guidance, edge_cache)
+        statics = self.cache.statics(graph)
+        num_modules = graph.num_modules
+        neutral = Tensor(np.ones((num_modules, 3)))
+        guidance_all = (concat([guidance, neutral], axis=0)
+                        if num_modules else guidance)
+        dist_feats = self._edge_distances(guidance_all, statics)
 
         h_ap = self.ap_embed(Tensor(graph.ap_features))
         h_mod = self.module_embed(Tensor(graph.module_features))
         h = concat([h_ap, h_mod], axis=0) if graph.num_modules else h_ap
 
         for layer in self.layers:
-            h = layer(h, edge_cache, dist_feats, graph.num_nodes)
+            h = layer(h, statics.edge_cache, dist_feats, graph.num_nodes)
         return self.head(h)
+
+    def _forward_batched(self, graph: HeteroGraph, guidance: Tensor) -> Tensor:
+        """One forward over a block-diagonal union of ``B`` graph replicas.
+
+        The union keeps all APs first (replica-major), mirroring the
+        unbatched ``concat([aps, modules])`` node layout, so the flattened
+        ``(B * num_aps, 3)`` guidance stack indexes it directly.  Replicas
+        share parameters but exchange no messages (no cross-replica
+        edges), so row ``b`` of the output equals the unbatched forward of
+        candidate ``b`` up to floating-point summation order.
+        """
+        batch = guidance.shape[0]
+        if guidance.shape != (batch, graph.num_aps, 3):
+            raise ValueError(
+                f"guidance shape {guidance.shape} != "
+                f"({batch}, {graph.num_aps}, 3)"
+            )
+        plan = self.cache.batched(graph, batch)
+        flat = guidance.reshape(batch * graph.num_aps, 3)
+        guidance_all = (
+            concat([flat, Tensor(plan.neutral_guidance)], axis=0)
+            if graph.num_modules else flat
+        )
+        dist_feats = self._edge_distances(guidance_all, plan)
+
+        h_ap = self.ap_embed(Tensor(plan.ap_features))
+        h_mod = self.module_embed(Tensor(plan.module_features))
+        h = concat([h_ap, h_mod], axis=0) if graph.num_modules else h_ap
+
+        for layer in self.layers:
+            h = layer(h, plan.edge_cache, dist_feats, plan.num_nodes)
+        return self.head(h, graph_ids=plan.graph_ids, num_graphs=batch)

@@ -1,0 +1,217 @@
+"""Graph-invariant forward-pass caches for the 3DGNN.
+
+Potential relaxation pays one GNN forward-backward per L-BFGS function
+evaluation; everything in that pass that does not depend on the guidance
+``C`` is hoisted here and built once per graph:
+
+* the directed edge expansion (also memoized on
+  :meth:`repro.graph.hetero.HeteroGraph.directed_edges` itself);
+* the static geometry of the Eq. 1 cost-aware distance — the per-edge
+  ``|pos[dst] - pos[src]|`` decomposition that guidance merely reweights;
+* the plain Euclidean distances used when ``use_cost_distance`` is off
+  (fully static, so the whole Eq. 2-3 input is cacheable);
+* the **disjoint-union batching plan**: to evaluate ``B`` guidance
+  candidates in one forward, the graph is replicated ``B`` times into one
+  block-diagonal graph.  Union node layout: access point ``(b, a)`` maps
+  to ``b * A + a`` and module ``(b, m)`` to ``B * A + b * M + m`` — all
+  APs first, mirroring the unbatched ``concat([aps, modules])`` layout so
+  a ``(B * A, 3)`` guidance stack lines up with union indices directly.
+
+Caches are keyed on the *live* graph object (weak reference, so entries
+die with their graph and a recycled ``id()`` can never alias) and
+validated against a structural fingerprint (node and edge counts), so
+replacing a graph's edge arrays invalidates its entry.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.hetero import EdgeType, HeteroGraph
+
+
+def _fingerprint(graph: HeteroGraph) -> tuple[int, int, int]:
+    return (graph.num_aps, graph.num_modules, graph.num_edges())
+
+
+@dataclass
+class GraphStatics:
+    """Per-graph static geometry shared by every forward pass.
+
+    Attributes:
+        edge_cache: directed (src, dst) index arrays per edge type.
+        deltas: per edge type, the (E, 3) absolute (h, w, z) edge-vector
+            decomposition of Eq. 1 — guidance-independent.
+    """
+
+    edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]]
+    deltas: dict[EdgeType, np.ndarray]
+    _euclidean: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+
+    def euclidean(self, edge_type: EdgeType) -> np.ndarray:
+        """Static Euclidean edge lengths (the Eq. 1 ablation path)."""
+        dist = self._euclidean.get(edge_type)
+        if dist is None:
+            d = self.deltas[edge_type]
+            dist = np.sqrt((d * d).sum(axis=1) + 1e-6)
+            self._euclidean[edge_type] = dist
+        return dist
+
+
+@dataclass
+class BatchedStatics:
+    """The disjoint-union replication plan for a fixed batch size ``B``.
+
+    Attributes:
+        batch: number of replicas ``B``.
+        num_nodes: total union nodes, ``B * (A + M)``.
+        edge_cache: per edge type, (src, dst) arrays in union indexing,
+            length ``B * E``.
+        deltas: per edge type, the statics' deltas tiled ``B`` times.
+        ap_features: (B * A, F) tiled static AP features.
+        module_features: (B * M, F) tiled static module features.
+        graph_ids: (B * N,) candidate id per union node, for per-candidate
+            readout pooling.
+        neutral_guidance: (B * M, 3) ones, the module receivers' guidance.
+    """
+
+    batch: int
+    num_nodes: int
+    edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]]
+    deltas: dict[EdgeType, np.ndarray]
+    ap_features: np.ndarray
+    module_features: np.ndarray
+    graph_ids: np.ndarray
+    neutral_guidance: np.ndarray
+    _euclidean: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+
+    def euclidean(self, edge_type: EdgeType) -> np.ndarray:
+        """Static Euclidean edge lengths in the union (tiled)."""
+        dist = self._euclidean.get(edge_type)
+        if dist is None:
+            d = self.deltas[edge_type]
+            dist = np.sqrt((d * d).sum(axis=1) + 1e-6)
+            self._euclidean[edge_type] = dist
+        return dist
+
+
+def build_statics(graph: HeteroGraph) -> GraphStatics:
+    """Hoist the guidance-independent per-edge geometry of one graph."""
+    positions = graph.positions
+    edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]] = {}
+    deltas: dict[EdgeType, np.ndarray] = {}
+    for edge_type in EdgeType:
+        src, dst = graph.directed_edges(edge_type)
+        edge_cache[edge_type] = (src, dst)
+        if len(src):
+            deltas[edge_type] = np.abs(positions[dst] - positions[src])
+        else:
+            deltas[edge_type] = np.zeros((0, 3))
+    return GraphStatics(edge_cache=edge_cache, deltas=deltas)
+
+
+def _union_indices(idx: np.ndarray, replica: int, num_aps: int,
+                   num_modules: int, batch: int) -> np.ndarray:
+    """Map unbatched node indices into replica ``replica`` of the union."""
+    return np.where(
+        idx < num_aps,
+        replica * num_aps + idx,
+        batch * num_aps + replica * num_modules + (idx - num_aps),
+    )
+
+
+def build_batched(graph: HeteroGraph, statics: GraphStatics,
+                  batch: int) -> BatchedStatics:
+    """Replicate a graph ``batch`` times into one block-diagonal union."""
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    num_aps, num_modules = graph.num_aps, graph.num_modules
+    edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]] = {}
+    deltas: dict[EdgeType, np.ndarray] = {}
+    for edge_type, (src, dst) in statics.edge_cache.items():
+        if len(src) == 0:
+            edge_cache[edge_type] = (src, dst)
+            deltas[edge_type] = statics.deltas[edge_type]
+            continue
+        src_u = np.concatenate([
+            _union_indices(src, b, num_aps, num_modules, batch)
+            for b in range(batch)
+        ])
+        dst_u = np.concatenate([
+            _union_indices(dst, b, num_aps, num_modules, batch)
+            for b in range(batch)
+        ])
+        edge_cache[edge_type] = (src_u.astype(np.int64),
+                                 dst_u.astype(np.int64))
+        deltas[edge_type] = np.tile(statics.deltas[edge_type], (batch, 1))
+    graph_ids = np.concatenate([
+        np.repeat(np.arange(batch, dtype=np.int64), num_aps),
+        np.repeat(np.arange(batch, dtype=np.int64), num_modules),
+    ])
+    return BatchedStatics(
+        batch=batch,
+        num_nodes=batch * graph.num_nodes,
+        edge_cache=edge_cache,
+        deltas=deltas,
+        ap_features=np.tile(graph.ap_features, (batch, 1)),
+        module_features=np.tile(graph.module_features, (batch, 1)),
+        graph_ids=graph_ids,
+        neutral_guidance=np.ones((batch * num_modules, 3)),
+    )
+
+
+class _Entry:
+    __slots__ = ("ref", "fingerprint", "statics", "batched")
+
+    def __init__(self, graph: HeteroGraph) -> None:
+        self.ref = weakref.ref(graph)
+        self.fingerprint = _fingerprint(graph)
+        self.statics: GraphStatics | None = None
+        self.batched: dict[int, BatchedStatics] = {}
+
+
+class ForwardCacheStore:
+    """Per-model cache of :class:`GraphStatics` / :class:`BatchedStatics`.
+
+    A model is typically used with one graph (plus occasionally a
+    validation graph), so the store keeps at most ``max_graphs`` live
+    entries and evicts wholesale beyond that.
+    """
+
+    def __init__(self, max_graphs: int = 4) -> None:
+        self.max_graphs = max_graphs
+        self._entries: dict[int, _Entry] = {}
+
+    def _entry(self, graph: HeteroGraph) -> _Entry:
+        key = id(graph)
+        entry = self._entries.get(key)
+        if (entry is not None and entry.ref() is graph
+                and entry.fingerprint == _fingerprint(graph)):
+            return entry
+        self._entries = {
+            k: e for k, e in self._entries.items() if e.ref() is not None
+        }
+        if len(self._entries) >= self.max_graphs:
+            self._entries.clear()
+        entry = _Entry(graph)
+        self._entries[key] = entry
+        return entry
+
+    def statics(self, graph: HeteroGraph) -> GraphStatics:
+        entry = self._entry(graph)
+        if entry.statics is None:
+            entry.statics = build_statics(graph)
+        return entry.statics
+
+    def batched(self, graph: HeteroGraph, batch: int) -> BatchedStatics:
+        entry = self._entry(graph)
+        plan = entry.batched.get(batch)
+        if plan is None:
+            plan = build_batched(graph, self.statics(graph), batch)
+            if len(entry.batched) >= 4:
+                entry.batched.clear()
+            entry.batched[batch] = plan
+        return plan

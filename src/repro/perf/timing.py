@@ -1,0 +1,159 @@
+"""Stage timers and the machine-readable performance record.
+
+Every hot path of the pipeline (route / extract / simulate / train /
+relax) reports into a :class:`StageTimer`, and ``benchmarks/bench_perf.py``
+serializes the aggregate as ``BENCH_perf.json`` at the repo root so the
+performance trajectory is tracked across PRs.  The Figure 5 runtime
+breakdown (``benchmarks/bench_fig5_runtime.py``) reads the *same* timers,
+so the paper-facing numbers and the perf record cannot diverge.
+
+Usage::
+
+    timer = StageTimer()
+    with timer.stage("route"):
+        router.route_all()
+    timer.to_dict()   # {"route": {"seconds": ..., "calls": 1}}
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Canonical stage names of the pipeline's hot paths, in flow order.
+PIPELINE_STAGES = ("route", "extract", "simulate", "train", "relax")
+
+#: Schema version of BENCH_perf.json; bump on incompatible layout changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall time of one named stage.
+
+    Attributes:
+        seconds: total wall-clock seconds across all calls.
+        calls: number of timed entries.
+    """
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall time per named stage.
+
+    Not thread-safe; parallel workers time their own stages and the
+    parent merges the returned :class:`StageStats` via :meth:`absorb`.
+    """
+
+    stages: dict[str, StageStats] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (nesting different names ok)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one timed call of ``seconds`` under ``name``."""
+        self.stages.setdefault(name, StageStats()).add(seconds)
+
+    def absorb(self, other: "StageTimer") -> None:
+        """Merge another timer's stats into this one (e.g. from a worker)."""
+        for name, stats in other.stages.items():
+            mine = self.stages.setdefault(name, StageStats())
+            mine.seconds += stats.seconds
+            mine.calls += stats.calls
+
+    def seconds(self, name: str) -> float:
+        stats = self.stages.get(name)
+        return stats.seconds if stats is not None else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self.stages.values())
+
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-ready mapping ``{stage: {"seconds": s, "calls": n}}``."""
+        return {
+            name: {"seconds": stats.seconds, "calls": stats.calls}
+            for name, stats in sorted(self.stages.items())
+        }
+
+
+def bench_payload(timer: StageTimer,
+                  extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Assemble the BENCH_perf.json payload from a timer plus metadata."""
+    payload: dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "stages": timer.to_dict(),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a perf payload as pretty JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_bench_json(path: str | Path) -> dict[str, Any] | None:
+    """Load a committed perf baseline; ``None`` when absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def compare_to_baseline(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_ratio: float = 3.0,
+    min_seconds: float = 0.05,
+) -> list[str]:
+    """Regression check: stages slower than ``max_ratio`` x baseline.
+
+    Stages faster than ``min_seconds`` in the baseline are skipped — at
+    that scale the measurement is dominated by noise, and CI runners are
+    slow and jittery (hence the generous default ratio).
+
+    Returns a list of human-readable regression descriptions (empty =
+    pass).
+    """
+    problems: list[str] = []
+    base_stages = baseline.get("stages", {})
+    cur_stages = current.get("stages", {})
+    for name, base in base_stages.items():
+        base_s = float(base.get("seconds", 0.0))
+        if base_s < min_seconds:
+            continue
+        cur = cur_stages.get(name)
+        if cur is None:
+            problems.append(f"stage {name!r} missing from current run")
+            continue
+        cur_s = float(cur.get("seconds", 0.0))
+        if cur_s > max_ratio * base_s:
+            problems.append(
+                f"stage {name!r} regressed {cur_s / base_s:.1f}x "
+                f"({base_s:.3f}s -> {cur_s:.3f}s, limit {max_ratio:.1f}x)"
+            )
+    return problems

@@ -28,7 +28,13 @@ from repro.reliability.errors import (
     SimulationError,
     error_for_stage,
 )
-from repro.reliability.faults import FaultInjector, FaultPlan, inject_faults
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultPlan,
+    active_plans,
+    fault_scope,
+    inject_faults,
+)
 from repro.reliability.retry import RetryPolicy, retry, retry_call
 from repro.reliability.policy import (
     ConstructionReport,
@@ -66,4 +72,6 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "inject_faults",
+    "fault_scope",
+    "active_plans",
 ]

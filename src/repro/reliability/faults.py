@@ -18,6 +18,15 @@ hashed per index so outcomes are independent of call order history).
 relaxer: selected calls get their value replaced with NaN, exercising
 the non-finite-potential degradation path.
 
+Call-order counting is process-local, so ``fail_indices`` cannot
+describe a *parallel* database construction, where each worker process
+counts its own calls.  For that, plans may select by **unit**: dataset
+construction wraps each sample attempt in :func:`fault_scope` with the
+sample index, and ``fail_units`` selects calls by ``(unit, nth call to
+the stage within that unit)`` — an addressing scheme that is identical
+in serial and parallel runs.  A bare int in ``fail_units`` fails every
+call of that unit (exhausting the sample's retries).
+
 When no injector is active every hook is a constant-time no-op, so the
 instrumentation costs nothing in production.
 """
@@ -25,7 +34,9 @@ instrumentation costs nothing in production.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -34,6 +45,30 @@ from repro.reliability.errors import error_for_stage
 #: Active injectors, innermost last.  Module-level so instrumented code
 #: needs no plumbing; fault injection is test-only and single-threaded.
 _ACTIVE: list["FaultInjector"] = []
+
+#: Stack of active fault units (innermost last); a unit is the sample
+#: index that dataset construction is currently attempting.
+_UNITS: list[int] = []
+
+
+@contextmanager
+def fault_scope(unit: int) -> Iterator[None]:
+    """Attribute the enclosed stage calls to ``unit`` (a sample index)."""
+    _UNITS.append(unit)
+    try:
+        yield
+    finally:
+        _UNITS.pop()
+
+
+def current_unit() -> int | None:
+    """The innermost active fault unit, or ``None`` outside any scope."""
+    return _UNITS[-1] if _UNITS else None
+
+
+def active_plans() -> tuple["FaultPlan", ...]:
+    """All plans of currently active injectors (for shipping to workers)."""
+    return tuple(plan for inj in _ACTIVE for plan in inj.plans)
 
 
 @dataclass(frozen=True)
@@ -44,6 +79,11 @@ class FaultPlan:
         stage: instrumented stage name (``"routing"``, ``"extraction"``,
             ``"simulation"``, ``"relaxation"``).
         fail_indices: explicit zero-based call indices that fail.
+        fail_units: unit-scoped selection, robust to parallel execution:
+            a bare int fails every call within that fault unit (sample
+            index); an ``(unit, k)`` pair fails only the ``k``-th call to
+            the stage within that unit (e.g. ``(3, 0)`` fails sample 3's
+            first attempt, letting its retry succeed).
         probability: independent failure probability per call.
         seed: RNG seed for probabilistic selection; outcomes depend only
             on ``(seed, call index)``, never on call history.
@@ -52,6 +92,7 @@ class FaultPlan:
 
     stage: str
     fail_indices: frozenset[int] = frozenset()
+    fail_units: frozenset = frozenset()
     probability: float = 0.0
     seed: int = 0
     message: str = "injected fault"
@@ -62,6 +103,7 @@ class FaultPlan:
                 f"probability must be in [0, 1], got {self.probability}"
             )
         object.__setattr__(self, "fail_indices", frozenset(self.fail_indices))
+        object.__setattr__(self, "fail_units", frozenset(self.fail_units))
 
     def selects(self, index: int) -> bool:
         """Whether call number ``index`` to the stage fails."""
@@ -71,6 +113,10 @@ class FaultPlan:
             draw = np.random.default_rng([self.seed, index]).random()
             return bool(draw < self.probability)
         return False
+
+    def selects_unit(self, unit: int, unit_call: int) -> bool:
+        """Whether the ``unit_call``-th stage call within ``unit`` fails."""
+        return unit in self.fail_units or (unit, unit_call) in self.fail_units
 
 
 class FaultInjector:
@@ -85,6 +131,7 @@ class FaultInjector:
     def __init__(self, *plans: FaultPlan) -> None:
         self.plans = list(plans)
         self.calls: dict[str, int] = {}
+        self.unit_calls: dict[tuple[str, int], int] = {}
         self.injected: list[tuple[str, int]] = []
 
     def __enter__(self) -> "FaultInjector":
@@ -101,22 +148,44 @@ class FaultInjector:
         self.calls[stage] = index + 1
         return index
 
+    def _observe_unit(self, stage: str) -> tuple[int | None, int]:
+        unit = current_unit()
+        if unit is None:
+            return None, 0
+        key = (stage, unit)
+        unit_call = self.unit_calls.get(key, 0)
+        self.unit_calls[key] = unit_call + 1
+        return unit, unit_call
+
+    def _selected(self, stage: str, index: int, unit: int | None,
+                  unit_call: int) -> "FaultPlan | None":
+        for plan in self.plans:
+            if plan.stage != stage:
+                continue
+            if plan.selects(index):
+                return plan
+            if unit is not None and plan.selects_unit(unit, unit_call):
+                return plan
+        return None
+
     def check(self, stage: str) -> None:
         index = self._observe(stage)
-        for plan in self.plans:
-            if plan.stage == stage and plan.selects(index):
-                self.injected.append((stage, index))
-                raise error_for_stage(stage)(
-                    plan.message, stage=stage,
-                    details={"injected": True, "call_index": index},
-                )
+        unit, unit_call = self._observe_unit(stage)
+        plan = self._selected(stage, index, unit, unit_call)
+        if plan is not None:
+            self.injected.append((stage, index))
+            raise error_for_stage(stage)(
+                plan.message, stage=stage,
+                details={"injected": True, "call_index": index,
+                         "unit": unit, "unit_call": unit_call},
+            )
 
     def poison(self, stage: str, value: float) -> float:
         index = self._observe(stage)
-        for plan in self.plans:
-            if plan.stage == stage and plan.selects(index):
-                self.injected.append((stage, index))
-                return math.nan
+        unit, unit_call = self._observe_unit(stage)
+        if self._selected(stage, index, unit, unit_call) is not None:
+            self.injected.append((stage, index))
+            return math.nan
         return value
 
 

@@ -7,7 +7,11 @@ is scaled by the active guidance vector's ``C[d]`` (Section 3.1 — a smaller
 
 The search runs over integer-encoded cells (``(ix * ny + iy) * nl + l``)
 with flattened occupancy/history views — routing is the inner loop of
-dataset generation, so constant factors matter.
+dataset generation, so constant factors matter.  G-scores, parents, and
+visited marks live in preallocated flat arrays indexed by the cell
+encoding, reused across connections via a generation stamp (bumping one
+counter invalidates the whole previous search in O(1), so no per-call
+allocation or dict churn).
 """
 
 from __future__ import annotations
@@ -48,6 +52,22 @@ class AStarRouter:
     def __init__(self, grid: RoutingGrid, params: CostParams | None = None) -> None:
         self.grid = grid
         self.params = params or CostParams()
+        # Search state, persistent across connections: validity of a cell's
+        # g/parent entry is "stamp[cell] == current generation", so a new
+        # search begins by bumping the generation instead of reallocating.
+        total = grid.nx * grid.ny * grid.num_layers
+        self._g = np.empty(total, dtype=np.float64)
+        self._parent = np.empty(total, dtype=np.int64)
+        self._stamp = np.zeros(total, dtype=np.uint32)
+        self._generation = 0
+
+    def _next_generation(self) -> int:
+        if self._generation >= np.iinfo(np.uint32).max:
+            # Wrapped: stale stamps could alias the new generation.
+            self._stamp.fill(0)
+            self._generation = 0
+        self._generation += 1
+        return self._generation
 
     def route_connection(
         self,
@@ -131,26 +151,26 @@ class AStarRouter:
         free, blocked = FREE, BLOCKED
 
         open_heap: list[tuple[float, float, int]] = []
-        g_cost: dict[int, float] = {}
-        parent: dict[int, int] = {}
+        g_arr, parent_arr, stamp = self._g, self._parent, self._stamp
+        gen = self._next_generation()
         # Sources are pushed in sorted order so tie-breaking (and therefore
         # the chosen path) is identical across processes regardless of set
         # iteration order / PYTHONHASHSEED.
         for s in sorted(sources):
             node = encode(s)
-            g_cost[node] = 0.0
-            parent[node] = -1
+            g_arr[node] = 0.0
+            parent_arr[node] = -1
+            stamp[node] = gen
             heapq.heappush(open_heap, (heuristic(s[0], s[1]), 0.0, node))
 
         heappush, heappop = heapq.heappush, heapq.heappop
-        inf = float("inf")
         expansions = 0
         while open_heap and expansions < max_expansions:
             _, g, node = heappop(open_heap)
-            if g > g_cost.get(node, inf):
+            if g > g_arr[node]:
                 continue
             if node in target_nodes:
-                return self._reconstruct(parent, node, ny, nl)
+                return self._reconstruct(parent_arr, node, ny, nl)
             expansions += 1
             layer = node % nl
             rem = node // nl
@@ -178,9 +198,10 @@ class AStarRouter:
                         continue
                     extra = present
                 new_g = g + step + extra + hist_w * history[nxt]
-                if new_g < g_cost.get(nxt, inf):
-                    g_cost[nxt] = new_g
-                    parent[nxt] = node
+                if stamp[nxt] != gen or new_g < g_arr[nxt]:
+                    g_arr[nxt] = new_g
+                    parent_arr[nxt] = node
+                    stamp[nxt] = gen
                     n_rem = nxt // nl
                     heappush(open_heap,
                              (new_g + heuristic(n_rem // ny, n_rem % ny), new_g, nxt))
@@ -188,7 +209,7 @@ class AStarRouter:
 
     @staticmethod
     def _reconstruct(
-        parent: dict[int, int], end: int, ny: int, nl: int
+        parent: np.ndarray, end: int, ny: int, nl: int
     ) -> list[GridNode]:
         path: list[GridNode] = []
         node = end
@@ -196,6 +217,6 @@ class AStarRouter:
             layer = node % nl
             rem = node // nl
             path.append((rem // ny, rem % ny, layer))
-            node = parent[node]
+            node = int(parent[node])
         path.reverse()
         return path
