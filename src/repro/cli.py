@@ -30,6 +30,7 @@ from repro import (
 )
 from repro.core import RelaxationConfig
 from repro.eval import SCALES, evaluate_cell, format_table1, format_table2
+from repro.obs import NULL_CONTEXT, RunContext, make_run_id, render_report
 from repro.reliability import DegradationPolicy, ReproError
 from repro.eval.runtime import runtime_breakdown_table
 from repro.io import (
@@ -97,8 +98,31 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _build_obs(args: argparse.Namespace) -> RunContext:
+    """Observability context from --trace/--trace-dir/--metrics-summary.
+
+    ``--trace PATH`` streams spans to PATH; ``--trace-dir DIR`` names the
+    trace after the run id inside DIR (handy next to checkpoints); either
+    writes the run manifest beside the trace on completion.  A bare
+    ``--metrics-summary`` keeps everything in memory.  Without any of the
+    three, the returned context is the shared no-op.
+    """
+    from pathlib import Path
+
+    if args.trace:
+        return RunContext.to_file(args.trace)
+    if args.trace_dir:
+        run_id = make_run_id()
+        return RunContext.to_file(
+            Path(args.trace_dir) / f"{run_id}.trace.jsonl", run_id=run_id)
+    if args.metrics_summary:
+        return RunContext()
+    return NULL_CONTEXT
+
+
 def _cmd_fold(args: argparse.Namespace) -> int:
     circuit, placement = _load_or_place(args)
+    obs = _build_obs(args)
     fold = AnalogFold(
         circuit, placement, generic_40nm(),
         config=AnalogFoldConfig(
@@ -116,8 +140,12 @@ def _cmd_fold(args: argparse.Namespace) -> int:
             resume=args.resume,
             workers=args.workers,
         ),
+        obs=obs,
     )
-    result = fold.run()
+    try:
+        result = fold.run()
+    finally:
+        obs.close()
     report = fold.database.report if fold.database else None
     if report is not None:
         print(f"database: {report.summary()}")
@@ -126,6 +154,12 @@ def _cmd_fold(args: argparse.Namespace) -> int:
           f"({result.winner_source}), candidate FoMs "
           f"{['%.3f' % f for f in result.candidate_foms]}")
     print(runtime_breakdown_table(result))
+    if obs.enabled and args.metrics_summary:
+        print()
+        print(render_report(obs.aggregates, obs.metrics.counter_values()))
+    if obs.trace_path is not None:
+        print(f"wrote trace {obs.trace_path}")
+        print(f"wrote manifest {obs.manifest_path}")
     if args.guidance_out:
         save_guidance(result.guidance, args.guidance_out)
         print(f"wrote {args.guidance_out}")
@@ -192,6 +226,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fold.add_argument("--min-valid-fraction", type=float, default=0.5,
                         help="fraction of requested samples that must "
                              "survive or the run aborts (default 0.5)")
+    p_fold.add_argument("--trace", metavar="PATH",
+                        help="stream per-stage spans to this JSONL trace "
+                             "file (run manifest written beside it)")
+    p_fold.add_argument("--trace-dir", metavar="DIR",
+                        help="like --trace, but names the trace after the "
+                             "run id inside DIR")
+    p_fold.add_argument("--metrics-summary", action="store_true",
+                        help="print the per-stage breakdown table and "
+                             "counters after the run")
     p_fold.set_defaults(func=_cmd_fold)
 
     p_cmp = sub.add_parser("compare", help="Table 2 row for one cell")

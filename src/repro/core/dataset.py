@@ -31,6 +31,7 @@ from repro.graph import build_hetero_graph
 from repro.graph.hetero import HeteroGraph
 from repro.model.training import TrainSample
 from repro.netlist.circuit import Circuit
+from repro.obs import NULL_CONTEXT, RunContext
 from repro.perf.timing import StageTimer
 from repro.placement.layout import Placement
 from repro.reliability.checkpoint import (
@@ -142,6 +143,7 @@ def route_and_measure(
     routing_pitch: float = 0.5,
     sample_index: int | None = None,
     timer: StageTimer | None = None,
+    obs: RunContext | None = None,
 ) -> GuidanceSample:
     """Route one guidance setting and simulate the result.
 
@@ -149,13 +151,16 @@ def route_and_measure(
     Failures surface as typed :class:`~repro.reliability.errors.ReproError`
     subclasses with the stage and sample index attached.  When ``timer``
     is given, the route/extract/simulate stages report their wall time
-    into it.
+    into it; an enabled ``obs`` context additionally emits one span per
+    stage (the same clock read feeds both).
     """
     timer = timer if timer is not None else StageTimer()
+    obs = obs if obs is not None else NULL_CONTEXT
     grid = RoutingGrid(placement, tech, pitch=routing_pitch)
-    router = IterativeRouter(grid, guidance=guidance, config=router_config)
+    router = IterativeRouter(grid, guidance=guidance, config=router_config,
+                             obs=obs)
     try:
-        with timer.stage("route"):
+        with obs.span("route", timer=timer):
             result = router.route_all()
     except ReproError as exc:
         raise exc.with_context(stage="routing", sample_index=sample_index)
@@ -163,7 +168,7 @@ def route_and_measure(
         raise RoutingError(str(exc), stage="routing",
                            sample_index=sample_index) from exc
     try:
-        with timer.stage("extract"):
+        with obs.span("extract", timer=timer):
             parasitics = extract(result, grid, tech)
     except ReproError as exc:
         raise exc.with_context(stage="extraction", sample_index=sample_index)
@@ -171,7 +176,7 @@ def route_and_measure(
         raise ExtractionError(str(exc), stage="extraction",
                               sample_index=sample_index) from exc
     try:
-        with timer.stage("simulate"):
+        with obs.span("simulate", timer=timer):
             metrics = simulate_performance(circuit, parasitics,
                                            testbench_config)
     except ReproError as exc:
@@ -208,6 +213,11 @@ class AttemptOutcome:
         retries: retry attempts consumed (0 when the first try succeeded).
         failure: the skip record when abandoned after retries.
         stage_timer: route/extract/simulate wall time of this attempt.
+        obs_events: span records buffered by the attempt's recording
+            context (empty when observability is disabled); the parent
+            absorbs them in submission order.
+        obs_counters: counter totals of the recording context, merged
+            into the parent's registry alongside ``obs_events``.
     """
 
     index: int
@@ -215,6 +225,8 @@ class AttemptOutcome:
     retries: int = 0
     failure: FailureRecord | None = None
     stage_timer: StageTimer = field(default_factory=StageTimer)
+    obs_events: list = field(default_factory=list)
+    obs_counters: dict = field(default_factory=dict)
 
 
 def attempt_sample(
@@ -227,6 +239,7 @@ def attempt_sample(
     policy: DegradationPolicy,
     router_config: RouterConfig | None,
     testbench_config: TestbenchConfig | None,
+    obs: RunContext | None = None,
 ) -> AttemptOutcome:
     """One sample with retries, as a pure function of its arguments.
 
@@ -234,8 +247,16 @@ def attempt_sample(
     and fault-injection calls are attributed to unit ``index`` via
     :func:`~repro.reliability.faults.fault_scope` — so the outcome is
     identical whether this runs in the parent process or a pool worker.
+
+    ``obs`` should be a *recording* context (serial and parallel callers
+    alike hand one in, so traces are identical for any worker count); its
+    buffered spans and counters ride back on the outcome.  The emitted
+    ``dataset.sample`` span carries outcome ``ok`` / ``retried`` /
+    ``skipped`` plus the consumed retry count, and every retry increments
+    ``retry_total{stage=<failing stage>}``.
     """
     outcome = AttemptOutcome(index=index, sample=None)
+    ctx = obs if obs is not None else NULL_CONTEXT
 
     def build(guidance: RoutingGuidance = guidance) -> GuidanceSample:
         sample = route_and_measure(
@@ -245,6 +266,7 @@ def attempt_sample(
             routing_pitch=cfg.routing_pitch,
             sample_index=index,
             timer=outcome.stage_timer,
+            obs=ctx,
         )
         reason = validate_sample(sample, require_routed=policy.require_routed)
         if reason is not None:
@@ -256,20 +278,33 @@ def attempt_sample(
         return {"guidance": _perturb_guidance(
             guidance, [policy.retry_seed, index, attempt], policy.retry_noise)}
 
-    try:
-        with fault_scope(index):
-            outcome.sample = retry_call(
-                build,
-                policy=RetryPolicy(max_attempts=policy.max_retries + 1),
-                reseed=reseed,
+    def on_retry(_attempt: int, exc: BaseException) -> None:
+        stage = getattr(exc, "stage", None) or "unknown"
+        ctx.counter("retry_total", stage=stage).inc()
+
+    with ctx.span("dataset.sample", index=index) as span:
+        try:
+            with fault_scope(index):
+                outcome.sample = retry_call(
+                    build,
+                    policy=RetryPolicy(max_attempts=policy.max_retries + 1),
+                    reseed=reseed,
+                    on_retry=on_retry,
+                )
+            span.set(outcome="retried" if outcome.retries else "ok",
+                     retries=outcome.retries)
+        except ReproError as exc:
+            outcome.failure = FailureRecord(
+                sample_index=index,
+                stage=exc.stage or "unknown",
+                error=exc.message,
+                attempts=policy.max_retries + 1,
             )
-    except ReproError as exc:
-        outcome.failure = FailureRecord(
-            sample_index=index,
-            stage=exc.stage or "unknown",
-            error=exc.message,
-            attempts=policy.max_retries + 1,
-        )
+            span.set(outcome="skipped", retries=outcome.retries,
+                     stage=outcome.failure.stage)
+    if obs is not None and obs.enabled:
+        outcome.obs_events = obs.drain_events()
+        outcome.obs_counters = obs.counter_values()
     return outcome
 
 
@@ -285,6 +320,7 @@ def generate_dataset(
     resume: bool = False,
     workers: int = 1,
     timer: StageTimer | None = None,
+    obs: RunContext | None = None,
 ) -> Database:
     """Build the training database for one (circuit, placement) design.
 
@@ -302,6 +338,12 @@ def generate_dataset(
             the degradation policy in submission order).
         timer: optional stage timer absorbing per-sample
             route/extract/simulate wall time.
+        obs: observability context; when enabled, every sample attempt
+            emits a ``dataset.sample`` span tree (worker spans are
+            buffered per attempt and absorbed in submission order, so
+            the trace and all counters are identical for any worker
+            count) and the construction report's totals are emitted as
+            counters.
 
     Raises:
         DataQualityError: fewer than the policy's floor of valid samples
@@ -311,6 +353,7 @@ def generate_dataset(
     """
     cfg = config or DatasetConfig()
     pol = policy or DegradationPolicy()
+    obs = obs if obs is not None else NULL_CONTEXT
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     rng = np.random.default_rng(cfg.seed)
@@ -358,6 +401,7 @@ def generate_dataset(
                 "router_config": router_config,
                 "testbench_config": testbench_config,
                 "fault_plans": active_plans(),
+                "obs_enabled": obs.enabled,
             },
             config=ParallelConfig(workers=workers),
         )
@@ -383,6 +427,8 @@ def generate_dataset(
                 database.samples.append(reused)
                 report.reused += 1
                 report.valid += 1
+                obs.emit_span("dataset.sample", 0.0, outcome="reused",
+                              index=index)
                 continue
             if pool is not None:
                 outcome = futures.pop(position).result()
@@ -390,7 +436,9 @@ def generate_dataset(
                 outcome = attempt_sample(
                     circuit, placement, tech, guidance, index, cfg, pol,
                     router_config, testbench_config,
+                    obs=RunContext.recording() if obs.enabled else None,
                 )
+            obs.absorb(outcome.obs_events, outcome.obs_counters)
             report.retried += outcome.retries
             if timer is not None:
                 timer.absorb(outcome.stage_timer)
@@ -415,6 +463,7 @@ def generate_dataset(
         if writer is not None:
             writer.close()
 
+    report.emit_metrics(obs)
     floor = pol.min_valid_samples(cfg.num_samples)
     if report.valid < floor:
         raise DataQualityError(

@@ -25,6 +25,7 @@ from repro.core.potential import PotentialFunction
 from repro.core.relaxation import PotentialRelaxer, RelaxationConfig, RelaxedGuidance
 from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
 from repro.netlist.circuit import Circuit
+from repro.obs import NULL_CONTEXT, RunContext
 from repro.perf.timing import StageTimer
 from repro.placement.layout import Placement
 from repro.reliability.errors import RelaxationError, ReproError, RoutingError
@@ -125,6 +126,11 @@ class AnalogFold:
         placement: its placement.
         tech: technology.
         config: pipeline configuration.
+        obs: observability context; the default disabled context makes
+            every emission a no-op.  When enabled, each pipeline stage
+            opens a root ``stage.*`` span under which the fine-grained
+            spans (``dataset.sample``, ``route.net``, ``train.epoch``,
+            ``relax.restart``, ...) nest.
     """
 
     def __init__(
@@ -133,11 +139,13 @@ class AnalogFold:
         placement: Placement,
         tech,
         config: AnalogFoldConfig | None = None,
+        obs: RunContext | None = None,
     ) -> None:
         self.circuit = circuit
         self.placement = placement
         self.tech = tech
         self.config = config or AnalogFoldConfig()
+        self.obs = obs if obs is not None else NULL_CONTEXT
         self.database: Database | None = None
         self.model: Gnn3d | None = None
         self.stage_seconds: dict[str, float] = {}
@@ -150,17 +158,19 @@ class AnalogFold:
     def build_database(self) -> Database:
         """Stage 1: construct the training database."""
         start = time.perf_counter()
-        self.database = generate_dataset(
-            self.circuit, self.placement, self.tech,
-            config=self.config.dataset,
-            router_config=self.config.router,
-            testbench_config=self.config.testbench,
-            policy=self.config.policy,
-            checkpoint_path=self.config.checkpoint_path,
-            resume=self.config.resume,
-            workers=self.config.workers,
-            timer=self.timer,
-        )
+        with self.obs.span("stage.construct_database"):
+            self.database = generate_dataset(
+                self.circuit, self.placement, self.tech,
+                config=self.config.dataset,
+                router_config=self.config.router,
+                testbench_config=self.config.testbench,
+                policy=self.config.policy,
+                checkpoint_path=self.config.checkpoint_path,
+                resume=self.config.resume,
+                workers=self.config.workers,
+                timer=self.timer,
+                obs=self.obs,
+            )
         self.stage_seconds["construct_database"] = time.perf_counter() - start
         return self.database
 
@@ -169,15 +179,17 @@ class AnalogFold:
         if self.database is None:
             self.build_database()
         start = time.perf_counter()
-        graph = self.database.graph
-        self.model = Gnn3d(
-            graph.ap_features.shape[1],
-            graph.module_features.shape[1],
-            self.config.gnn,
-        )
-        trainer = Trainer(self.model, graph, self.config.training)
-        with self.timer.stage("train"):
-            trainer.fit(self.database.train_samples())
+        with self.obs.span("stage.model_training"):
+            graph = self.database.graph
+            self.model = Gnn3d(
+                graph.ap_features.shape[1],
+                graph.module_features.shape[1],
+                self.config.gnn,
+            )
+            trainer = Trainer(self.model, graph, self.config.training,
+                              obs=self.obs)
+            with self.obs.span("train", timer=self.timer):
+                trainer.fit(self.database.train_samples())
         self.stage_seconds["model_training"] = time.perf_counter() - start
         return self.model
 
@@ -186,14 +198,16 @@ class AnalogFold:
         if self.model is None:
             self.train()
         start = time.perf_counter()
-        potential = PotentialFunction(
-            self.model, self.database.graph, weights=self.config.fom_weights,
-            c_max=self.config.dataset.c_max,
-        )
-        relaxer = PotentialRelaxer(self.config.relaxation)
-        with self.timer.stage("relax"):
-            derived = relaxer.run(
-                potential, seed_guidance=self._best_database_guidance())
+        with self.obs.span("stage.guide_generation"):
+            potential = PotentialFunction(
+                self.model, self.database.graph,
+                weights=self.config.fom_weights,
+                c_max=self.config.dataset.c_max,
+            )
+            relaxer = PotentialRelaxer(self.config.relaxation, obs=self.obs)
+            with self.obs.span("relax", timer=self.timer):
+                derived = relaxer.run(
+                    potential, seed_guidance=self._best_database_guidance())
         self.stage_seconds["guide_generation"] = time.perf_counter() - start
         return derived
 
@@ -216,6 +230,7 @@ class AnalogFold:
             testbench_config=self.config.testbench,
             routing_pitch=self.config.dataset.routing_pitch,
             timer=self.timer,
+            obs=self.obs,
         )
 
     # -- orchestration -----------------------------------------------------------------
@@ -243,36 +258,37 @@ class AnalogFold:
         weights = self.config.fom_weights
         candidates: list[tuple[object, str]] = []
         candidate_foms: list[float] = []
-        if self.config.select_by == "simulation":
-            for d in derived:
-                try:
-                    sample = self.route_with_guidance(
-                        self._to_routing_guidance(d))
-                except ReproError:
-                    candidate_foms.append(float("inf"))
-                    continue
-                candidates.append((sample, "derived"))
-                candidate_foms.append(weights.fom(sample.metrics))
-            if self.config.include_database_best:
-                db_best = self._ranked_database_samples()[0]
-                candidates.append((db_best, "database"))
-                candidate_foms.append(weights.fom(db_best.metrics))
-            if not candidates:
-                raise RoutingError(
-                    f"all {len(derived)} derived guidance candidates "
-                    f"failed guided routing",
-                    stage="guided_routing",
+        with self.obs.span("stage.guided_routing"):
+            if self.config.select_by == "simulation":
+                for d in derived:
+                    try:
+                        sample = self.route_with_guidance(
+                            self._to_routing_guidance(d))
+                    except ReproError:
+                        candidate_foms.append(float("inf"))
+                        continue
+                    candidates.append((sample, "derived"))
+                    candidate_foms.append(weights.fom(sample.metrics))
+                if self.config.include_database_best:
+                    db_best = self._ranked_database_samples()[0]
+                    candidates.append((db_best, "database"))
+                    candidate_foms.append(weights.fom(db_best.metrics))
+                if not candidates:
+                    raise RoutingError(
+                        f"all {len(derived)} derived guidance candidates "
+                        f"failed guided routing",
+                        stage="guided_routing",
+                    )
+                best_sample, winner_source = min(
+                    candidates, key=lambda pair: weights.fom(pair[0].metrics))
+            else:
+                best_derived = min(derived, key=lambda d: d.potential)
+                best_sample = self.route_with_guidance(
+                    self._to_routing_guidance(best_derived)
                 )
-            best_sample, winner_source = min(
-                candidates, key=lambda pair: weights.fom(pair[0].metrics))
-        else:
-            best_derived = min(derived, key=lambda d: d.potential)
-            best_sample = self.route_with_guidance(
-                self._to_routing_guidance(best_derived)
-            )
-            winner_source = "derived"
-            candidate_foms.append(weights.fom(best_sample.metrics))
-        winner_index = candidate_foms.index(min(candidate_foms))
+                winner_source = "derived"
+                candidate_foms.append(weights.fom(best_sample.metrics))
+            winner_index = candidate_foms.index(min(candidate_foms))
         self.stage_seconds["guided_routing"] = time.perf_counter() - start
 
         return AnalogFoldResult(

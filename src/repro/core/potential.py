@@ -30,6 +30,11 @@ class PotentialStats:
         forwards: GNN forward-backward passes actually executed — the
             quantity batching reduces (one batched eval of ``B``
             candidates costs one forward instead of ``B``).
+
+    The relaxer reads deltas of these counters to emit the
+    ``gnn_forwards`` and ``lbfgs_evals`` observability metrics (see
+    ``docs/OBSERVABILITY.md``), so they must stay cumulative within a
+    run and only reset via :meth:`PotentialFunction.reset_stats`.
     """
 
     evals: int = 0

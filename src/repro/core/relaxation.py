@@ -31,6 +31,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from repro.core.potential import PotentialFunction
+from repro.obs import NULL_CONTEXT, RunContext
 from repro.reliability.errors import RelaxationError
 from repro.reliability.faults import poison
 
@@ -117,10 +118,13 @@ class RelaxationTrace:
         diverged: restarts dropped for non-finite potential/guidance.
         failures: per-dropped-restart descriptions, e.g.
             ``"restart 3: non-finite potential nan"``.
-        best_per_restart: best pool potential after each kept restart.
-        restart_seconds: wall time per attempted restart, in restart
-            order (batched mode amortizes each wave's time evenly over
-            its restarts).
+        best_per_restart: best pool potential after each kept restart —
+            non-increasing by construction (the pool only improves).
+        restart_seconds: duration per attempted restart, in restart
+            order, measured on the monotonic ``time.perf_counter``
+            clock (batched mode amortizes each wave's time evenly over
+            its restarts).  Durations are load-sensitive; tests must
+            assert monotonicity/shape, never absolute values.
         restart_evals: potential evaluations per attempted restart — in
             batched mode, the number of joint evaluations of the
             restart's wave (each one touches the restart exactly once).
@@ -138,10 +142,19 @@ class RelaxationTrace:
 
 
 class PotentialRelaxer:
-    """Runs pool-assisted relaxation over a :class:`PotentialFunction`."""
+    """Runs pool-assisted relaxation over a :class:`PotentialFunction`.
 
-    def __init__(self, config: RelaxationConfig | None = None) -> None:
+    With an enabled ``obs`` context, every attempted restart emits a
+    ``relax.restart`` span (outcome ``ok`` / ``diverged``, with its eval
+    count and pool-seeding flag), reusing the trace's own perf_counter
+    measurements; the run's totals feed the ``gnn_forwards`` and
+    ``lbfgs_evals`` counters.
+    """
+
+    def __init__(self, config: RelaxationConfig | None = None,
+                 obs: RunContext | None = None) -> None:
         self.config = config or RelaxationConfig()
+        self.obs = obs if obs is not None else NULL_CONTEXT
         self.trace = RelaxationTrace()
 
     def run(
@@ -167,12 +180,17 @@ class PotentialRelaxer:
         rng = np.random.default_rng(cfg.seed)
         seeds = list(seed_guidance or [])[: cfg.seed_points]
         start_forwards = potential.stats.forwards
+        start_evals = potential.stats.evals + potential.stats.batched_evals
 
         if cfg.batched:
             pool = self._run_batched(potential, rng, seeds)
         else:
             pool = self._run_serial(potential, rng, seeds)
         self.trace.gnn_forwards = potential.stats.forwards - start_forwards
+        self.obs.counter("gnn_forwards").inc(self.trace.gnn_forwards)
+        self.obs.counter("lbfgs_evals").inc(
+            potential.stats.evals + potential.stats.batched_evals
+            - start_evals)
 
         if not pool:
             raise RelaxationError(
@@ -198,20 +216,23 @@ class PotentialRelaxer:
 
     def _keep(self, pool: list[RelaxedGuidance], restart: int,
               x: np.ndarray, raw_value: float, from_pool: bool,
-              potential: PotentialFunction) -> None:
-        """Pool-selection bookkeeping shared by serial and batched runs."""
+              potential: PotentialFunction) -> bool:
+        """Pool-selection bookkeeping shared by serial and batched runs.
+
+        Returns whether the restart survived (``False`` = diverged).
+        """
         cfg = self.config
         value = poison("relaxation", raw_value)
         if not np.isfinite(value):
             self.trace.diverged += 1
             self.trace.failures.append(
                 f"restart {restart}: non-finite potential {value}")
-            return
+            return False
         if not np.isfinite(x).all():
             self.trace.diverged += 1
             self.trace.failures.append(
                 f"restart {restart}: non-finite guidance")
-            return
+            return False
         margin = 1e-3
         solution = RelaxedGuidance(
             guidance=np.clip(x, margin, potential.c_max - margin)
@@ -224,6 +245,7 @@ class PotentialRelaxer:
         del pool[cfg.pool_size:]
         self.trace.restarts += 1
         self.trace.best_per_restart.append(pool[0].potential)
+        return True
 
     def _run_serial(
         self,
@@ -265,18 +287,26 @@ class PotentialRelaxer:
                     options={"maxiter": cfg.maxiter},
                 )
             except RelaxationError as exc:
-                self.trace.restart_seconds.append(
-                    time.perf_counter() - started)
-                self.trace.restart_evals.append(
-                    potential.stats.evals - evals_before)
+                elapsed = time.perf_counter() - started
+                evals = potential.stats.evals - evals_before
+                self.trace.restart_seconds.append(elapsed)
+                self.trace.restart_evals.append(evals)
                 self.trace.diverged += 1
                 self.trace.failures.append(f"restart {restart}: {exc}")
+                self.obs.emit_span("relax.restart", elapsed,
+                                   outcome="diverged", restart=restart,
+                                   evals=evals, from_pool=from_pool)
                 continue
-            self.trace.restart_seconds.append(time.perf_counter() - started)
-            self.trace.restart_evals.append(
-                potential.stats.evals - evals_before)
-            self._keep(pool, restart, result.x, float(result.fun),
-                       from_pool, potential)
+            elapsed = time.perf_counter() - started
+            evals = potential.stats.evals - evals_before
+            self.trace.restart_seconds.append(elapsed)
+            self.trace.restart_evals.append(evals)
+            kept = self._keep(pool, restart, result.x, float(result.fun),
+                              from_pool, potential)
+            self.obs.emit_span("relax.restart", elapsed,
+                               outcome="ok" if kept else "diverged",
+                               restart=restart, evals=evals,
+                               from_pool=from_pool)
         return pool
 
     def _run_batched(
@@ -373,6 +403,10 @@ class PotentialRelaxer:
                 self.trace.diverged += 1
                 self.trace.failures.append(
                     f"restart {restart_offset + i}: {exc}")
+                self.obs.emit_span("relax.restart", elapsed / wave,
+                                   outcome="diverged",
+                                   restart=restart_offset + i, evals=evals,
+                                   from_pool=inits[i][1])
             return
         elapsed = time.perf_counter() - started
         evals = potential.stats.batched_evals - evals_before
@@ -380,5 +414,9 @@ class PotentialRelaxer:
         for i in range(wave):
             self.trace.restart_seconds.append(elapsed / wave)
             self.trace.restart_evals.append(evals)
-            self._keep(pool, restart_offset + i, xs[i], float(values[i]),
-                       inits[i][1], potential)
+            kept = self._keep(pool, restart_offset + i, xs[i],
+                              float(values[i]), inits[i][1], potential)
+            self.obs.emit_span("relax.restart", elapsed / wave,
+                               outcome="ok" if kept else "diverged",
+                               restart=restart_offset + i, evals=evals,
+                               from_pool=inits[i][1])

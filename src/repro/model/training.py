@@ -9,6 +9,7 @@ import numpy as np
 from repro.graph.hetero import HeteroGraph
 from repro.model.gnn3d import Gnn3d
 from repro.nn import Adam, Tensor
+from repro.obs import NULL_CONTEXT, RunContext
 
 
 @dataclass(frozen=True)
@@ -59,17 +60,23 @@ class TrainHistory:
 
 
 class Trainer:
-    """Trains a :class:`Gnn3d` on (guidance, metrics) samples of one design."""
+    """Trains a :class:`Gnn3d` on (guidance, metrics) samples of one design.
+
+    With an enabled ``obs`` context, every epoch emits a ``train.epoch``
+    span carrying its losses.
+    """
 
     def __init__(
         self,
         model: Gnn3d,
         graph: HeteroGraph,
         config: TrainConfig | None = None,
+        obs: RunContext | None = None,
     ) -> None:
         self.model = model
         self.graph = graph
         self.config = config or TrainConfig()
+        self.obs = obs if obs is not None else NULL_CONTEXT
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self.history = TrainHistory()
 
@@ -102,30 +109,38 @@ class Trainer:
 
         best_val = float("inf")
         stale = 0
+        stop = False
         order = np.arange(len(train))
-        for _ in range(cfg.epochs):
-            rng.shuffle(order)
-            epoch_loss = 0.0
-            for start in range(0, len(order), cfg.batch_size):
-                batch = order[start: start + cfg.batch_size]
-                self.optimizer.zero_grad()
-                batch_loss = 0.0
-                for idx in batch:
-                    loss = self._sample_loss(train[idx])
-                    loss.backward(np.asarray(1.0 / len(batch)))
-                    batch_loss += loss.item()
-                self.optimizer.step()
-                epoch_loss += batch_loss
-            self.history.train_loss.append(epoch_loss / len(train))
+        for epoch in range(cfg.epochs):
+            with self.obs.span("train.epoch", epoch=epoch) as span:
+                rng.shuffle(order)
+                epoch_loss = 0.0
+                for start in range(0, len(order), cfg.batch_size):
+                    batch = order[start: start + cfg.batch_size]
+                    self.optimizer.zero_grad()
+                    batch_loss = 0.0
+                    for idx in batch:
+                        loss = self._sample_loss(train[idx])
+                        loss.backward(np.asarray(1.0 / len(batch)))
+                        batch_loss += loss.item()
+                    self.optimizer.step()
+                    epoch_loss += batch_loss
+                train_loss = epoch_loss / len(train)
+                self.history.train_loss.append(train_loss)
+                span.set(train_loss=train_loss)
 
-            if val:
-                val_loss = self.evaluate(val)
-                self.history.val_loss.append(val_loss)
-                if val_loss < best_val - 1e-6:
-                    best_val = val_loss
-                    stale = 0
-                elif cfg.patience:
-                    stale += 1
-                    if stale >= cfg.patience:
-                        break
+                if val:
+                    val_loss = self.evaluate(val)
+                    self.history.val_loss.append(val_loss)
+                    span.set(val_loss=val_loss)
+                    if val_loss < best_val - 1e-6:
+                        best_val = val_loss
+                        stale = 0
+                    elif cfg.patience:
+                        stale += 1
+                        if stale >= cfg.patience:
+                            span.set(early_stop=True)
+                            stop = True
+            if stop:
+                break
         return self.history

@@ -1,0 +1,60 @@
+"""Structured observability: spans, metrics, and run manifests.
+
+See ``docs/OBSERVABILITY.md`` for the trace schema, metric names, and
+example report output.  The one-line tour:
+
+* :class:`RunContext` — the handle threaded through the pipeline;
+  :data:`NULL_CONTEXT` is the zero-overhead disabled default.
+* :class:`MetricsRegistry` — typed counters/gauges/histograms with
+  flat-name labels (``retry_total{stage=routing}``).
+* :mod:`repro.obs.report` — renders per-stage breakdown tables from any
+  trace file and verifies trace/manifest agreement.
+"""
+
+from repro.obs.context import (
+    MANIFEST_VERSION,
+    NULL_CONTEXT,
+    NULL_SPAN,
+    RunContext,
+    Span,
+    SpanAggregate,
+    TRACE_VERSION,
+    iter_trace,
+    make_run_id,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRIC,
+    flat_name,
+)
+from repro.obs.report import (
+    aggregate_spans,
+    load_trace,
+    render_report,
+    verify_manifest,
+)
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "NULL_CONTEXT",
+    "NULL_METRIC",
+    "NULL_SPAN",
+    "TRACE_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunContext",
+    "Span",
+    "SpanAggregate",
+    "aggregate_spans",
+    "flat_name",
+    "iter_trace",
+    "load_trace",
+    "make_run_id",
+    "render_report",
+    "verify_manifest",
+]

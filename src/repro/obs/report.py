@@ -1,0 +1,129 @@
+"""Trace-file analytics: per-stage breakdown tables and manifest checks.
+
+Works on any trace a :class:`~repro.obs.context.RunContext` produced::
+
+    PYTHONPATH=src python -m repro.obs.report runs/trace.jsonl
+    PYTHONPATH=src python -m repro.obs.report runs/trace.jsonl \\
+        --verify-manifest runs/trace.manifest.json
+
+The second form recomputes per-stage totals from the trace records and
+fails (exit 1) unless they match the manifest exactly — the invariant
+the pipeline guarantees by building both from the same emission stream.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.context import SpanAggregate, iter_trace
+
+#: Outcomes that get their own report column; others fold into "other".
+_OUTCOME_COLUMNS = ("ok", "retried", "skipped", "diverged")
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """All records of a JSONL trace file, in emission order."""
+    return list(iter_trace(path))
+
+
+def aggregate_spans(records: Iterable[dict[str, Any]]
+                    ) -> dict[str, SpanAggregate]:
+    """Per-stage totals recomputed from raw span records."""
+    out: dict[str, SpanAggregate] = {}
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        out.setdefault(record["name"], SpanAggregate()).add(
+            float(record["seconds"]), record["outcome"])
+    return out
+
+
+def render_report(aggregates: dict[str, SpanAggregate],
+                  counters: dict[str, int] | None = None) -> str:
+    """A fixed-width per-stage breakdown table (plus counters when given)."""
+    headers = ["stage", "count", *_OUTCOME_COLUMNS, "other",
+               "total_s", "mean_ms"]
+    rows: list[list[str]] = []
+    for name in sorted(aggregates):
+        agg = aggregates[name]
+        known = {o: agg.outcomes.get(o, 0) for o in _OUTCOME_COLUMNS}
+        other = agg.count - sum(known.values())
+        mean_ms = 1000.0 * agg.seconds / agg.count if agg.count else 0.0
+        rows.append([name, str(agg.count),
+                     *[str(known[o]) for o in _OUTCOME_COLUMNS],
+                     str(other), f"{agg.seconds:.4f}", f"{mean_ms:.2f}"])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+              if rows else len(headers[i]) for i in range(len(headers))]
+    lines = [
+        "  ".join(h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+                  for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)))
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for key in sorted(counters):
+            lines.append(f"  {key.ljust(width)}  {counters[key]}")
+    return "\n".join(lines)
+
+
+def verify_manifest(records: Iterable[dict[str, Any]],
+                    manifest: dict[str, Any]) -> list[str]:
+    """Mismatches between trace-derived totals and a manifest (empty = ok)."""
+    problems: list[str] = []
+    derived = {name: agg.to_dict()
+               for name, agg in aggregate_spans(records).items()}
+    recorded = manifest.get("spans", {})
+    for name in sorted(set(derived) | set(recorded)):
+        if name not in recorded:
+            problems.append(f"stage {name!r} in trace but not in manifest")
+        elif name not in derived:
+            problems.append(f"stage {name!r} in manifest but not in trace")
+        elif derived[name] != recorded[name]:
+            problems.append(
+                f"stage {name!r} differs: trace {derived[name]} "
+                f"!= manifest {recorded[name]}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.report",
+        description="Render a per-stage breakdown from a JSONL trace.")
+    parser.add_argument("trace", help="trace file written with --trace")
+    parser.add_argument("--verify-manifest", metavar="PATH",
+                        help="check trace-derived totals against this "
+                             "run manifest; exit 1 on any mismatch")
+    args = parser.parse_args(argv)
+
+    records = load_trace(args.trace)
+    header = next((r for r in records if r.get("kind") == "header"), None)
+    if header is not None:
+        print(f"run {header.get('run_id')} "
+              f"(trace version {header.get('version')})")
+    print(render_report(aggregate_spans(records)))
+
+    if args.verify_manifest:
+        manifest = json.loads(
+            Path(args.verify_manifest).read_text(encoding="utf-8"))
+        problems = verify_manifest(records, manifest)
+        if problems:
+            print("MANIFEST MISMATCH:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("manifest matches trace-derived totals")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

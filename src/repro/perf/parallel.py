@@ -79,15 +79,24 @@ def _init_worker(ctx: dict[str, Any]) -> None:
 
 
 def _worker_run(task: tuple[int, Any]):
-    """Run one sample attempt inside a worker process."""
+    """Run one sample attempt inside a worker process.
+
+    When the parent's observability context is enabled, the attempt
+    records spans into a per-worker in-memory context; the buffered
+    records ride back on the outcome and the parent absorbs them in
+    submission order, keeping traces identical across worker counts.
+    """
     from repro.core.dataset import attempt_sample
+    from repro.obs import RunContext
 
     assert _WORKER_CTX is not None, "worker used before initialization"
     index, guidance = task
     c = _WORKER_CTX
+    obs = RunContext.recording() if c.get("obs_enabled") else None
     return attempt_sample(
         c["circuit"], c["placement"], c["tech"], guidance, index,
         c["config"], c["policy"], c["router_config"], c["testbench_config"],
+        obs=obs,
     )
 
 

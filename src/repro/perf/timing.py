@@ -13,6 +13,13 @@ Usage::
     with timer.stage("route"):
         router.route_all()
     timer.to_dict()   # {"route": {"seconds": ..., "calls": 1}}
+
+The observability layer unifies timers and trace spans: pipeline code
+wraps hot paths in ``obs.span(name, timer=timer)`` instead of
+``timer.stage(name)``, so one ``perf_counter`` read feeds both this
+perf record and the JSONL trace (see ``docs/OBSERVABILITY.md``).  With
+tracing disabled the span degrades to exactly the timing this module
+did alone.
 """
 
 from __future__ import annotations

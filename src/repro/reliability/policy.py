@@ -131,6 +131,22 @@ class ConstructionReport:
             out[record.stage] = out.get(record.stage, 0) + 1
         return out
 
+    def emit_metrics(self, obs: Any) -> None:
+        """Publish this report's totals as counters on an obs context.
+
+        ``obs`` is duck-typed (a :class:`repro.obs.RunContext`) so the
+        reliability package does not import the packages it instruments.
+        ``retry_total{stage}`` is *not* emitted here — retries are
+        counted at the failure site, where the failing stage is known.
+        """
+        obs.counter("samples_requested").inc(self.requested)
+        obs.counter("samples_valid").inc(self.valid)
+        obs.counter("samples_reused").inc(self.reused)
+        obs.counter("samples_resampled").inc(self.resampled)
+        obs.counter("samples_skipped").inc(len(self.skipped))
+        for stage, count in sorted(self.failures_by_stage().items()):
+            obs.counter("failure_total", stage=stage).inc(count)
+
     def summary(self) -> str:
         parts = [f"{self.valid}/{self.requested} valid"]
         if self.reused:

@@ -60,6 +60,9 @@ class AStarRouter:
         self._parent = np.empty(total, dtype=np.int64)
         self._stamp = np.zeros(total, dtype=np.uint32)
         self._generation = 0
+        #: Nodes expanded across every search this router has run; the
+        #: ``astar_expansions`` observability counter reads the deltas.
+        self.expansions_total = 0
 
     def _next_generation(self) -> int:
         if self._generation >= np.iinfo(np.uint32).max:
@@ -165,12 +168,14 @@ class AStarRouter:
 
         heappush, heappop = heapq.heappush, heapq.heappop
         expansions = 0
+        found: list[GridNode] | None = None
         while open_heap and expansions < max_expansions:
             _, g, node = heappop(open_heap)
             if g > g_arr[node]:
                 continue
             if node in target_nodes:
-                return self._reconstruct(parent_arr, node, ny, nl)
+                found = self._reconstruct(parent_arr, node, ny, nl)
+                break
             expansions += 1
             layer = node % nl
             rem = node // nl
@@ -205,7 +210,8 @@ class AStarRouter:
                     n_rem = nxt // nl
                     heappush(open_heap,
                              (new_g + heuristic(n_rem // ny, n_rem % ny), new_g, nxt))
-        return None
+        self.expansions_total += expansions
+        return found
 
     @staticmethod
     def _reconstruct(

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.netlist.nets import Net, NetType
+from repro.obs import NULL_CONTEXT, RunContext
 from repro.reliability.faults import maybe_inject
 from repro.router.astar import AStarRouter, CostParams
 from repro.router.grid import GridNode, RoutingGrid
@@ -70,10 +71,12 @@ class IterativeRouter:
         grid: RoutingGrid,
         guidance: RoutingGuidance | None = None,
         config: RouterConfig | None = None,
+        obs: RunContext | None = None,
     ) -> None:
         self.grid = grid
         self.guidance = guidance or RoutingGuidance()
         self.config = config or RouterConfig()
+        self.obs = obs if obs is not None else NULL_CONTEXT
         self.astar = AStarRouter(grid, self.config.cost)
         self.circuit = grid.placement.circuit
 
@@ -81,6 +84,11 @@ class IterativeRouter:
 
     def route_all(self) -> RoutingResult:
         """Route every net with >= 2 terminals; returns the full solution.
+
+        With an enabled obs context, every routing attempt emits a
+        ``route.net`` span (outcome ``ok`` / ``mirrored`` / ``failed``)
+        and the run's A* expansion total feeds the ``astar_expansions``
+        counter.
 
         Raises :class:`~repro.reliability.errors.RoutingError` under an
         active fault-injection plan for the ``"routing"`` stage.
@@ -92,6 +100,7 @@ class IterativeRouter:
         routed: dict[str, NetRoute] = {}
         mirrored_from: dict[str, str] = self._mirror_partners()
         iterations = 0
+        expansions_before = self.astar.expansions_total
 
         while queue and iterations < self.config.max_iterations:
             iterations += 1
@@ -99,30 +108,39 @@ class IterativeRouter:
             for net_name in queue:
                 if net_name in routed:
                     continue
-                partner = mirrored_from.get(net_name)
-                if partner is not None and partner in routed:
-                    # Try exact mirror of the already-routed left partner.
-                    mirror = mirror_route(self.grid, routed[partner], net_name)
-                    if mirror is not None:
-                        self._commit(mirror)
-                        routed[net_name] = mirror
+                with self.obs.span("route.net", net=net_name,
+                                   iteration=iterations) as span:
+                    partner = mirrored_from.get(net_name)
+                    if partner is not None and partner in routed:
+                        # Try exact mirror of the already-routed left
+                        # partner.
+                        mirror = mirror_route(self.grid, routed[partner],
+                                              net_name)
+                        if mirror is not None:
+                            self._commit(mirror)
+                            routed[net_name] = mirror
+                            span.set(outcome="mirrored")
+                            continue
+                    route, conflicts = self._route_net(net_name)
+                    if route is None:
+                        span.set(outcome="failed")
+                        requeue.append(net_name)
                         continue
-                route, conflicts = self._route_net(net_name)
-                if route is None:
-                    requeue.append(net_name)
-                    continue
-                if conflicts:
-                    # Sorted for cross-process determinism (set order varies
-                    # with string hash randomization).
-                    for victim in sorted(conflicts):
-                        if victim in routed:
-                            self._rip_up(routed.pop(victim))
-                            requeue.append(victim)
-                if partner is not None and partner not in routed:
-                    route.symmetric_ok = False
-                self._commit(route)
-                routed[net_name] = route
+                    if conflicts:
+                        span.set(conflicts=len(conflicts))
+                        # Sorted for cross-process determinism (set order
+                        # varies with string hash randomization).
+                        for victim in sorted(conflicts):
+                            if victim in routed:
+                                self._rip_up(routed.pop(victim))
+                                requeue.append(victim)
+                    if partner is not None and partner not in routed:
+                        route.symmetric_ok = False
+                    self._commit(route)
+                    routed[net_name] = route
             queue = requeue
+        self.obs.counter("astar_expansions").inc(
+            self.astar.expansions_total - expansions_before)
 
         # Mark right-side nets that had to route independently.
         for right, left in mirrored_from.items():

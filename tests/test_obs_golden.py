@@ -1,0 +1,176 @@
+"""Golden-file regression tests for on-disk record formats.
+
+Locks the *shape* (recursive type skeleton, see :func:`schema_of`) of:
+
+* checkpoint JSONL records (header + sample lines),
+* the observability trace JSONL records (header + span lines),
+* the run manifest.
+
+A schema change fails with a readable unified diff against the fixture
+under ``tests/golden/``.  To accept an intentional format change, rerun
+with ``REPRO_UPDATE_GOLDEN=1`` and commit the regenerated fixtures::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs_golden.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import DatasetConfig, generate_dataset
+from repro.obs import RunContext, load_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+UPDATE = bool(os.environ.get("REPRO_UPDATE_GOLDEN"))
+
+
+def schema_of(value):
+    """Recursive type skeleton of a JSON value.
+
+    Dict keys are kept verbatim (they are part of the format); lists of
+    uniformly shaped elements collapse to a single-element skeleton so
+    fixtures stay readable.
+    """
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, str):
+        return "str"
+    if value is None:
+        return "null"
+    if isinstance(value, list):
+        shapes = [schema_of(v) for v in value]
+        uniform = all(s == shapes[0] for s in shapes)
+        return shapes[:1] if uniform else shapes
+    if isinstance(value, dict):
+        return {key: schema_of(value[key]) for key in sorted(value)}
+    return type(value).__name__  # pragma: no cover - no other JSON types
+
+
+def check_golden(name: str, schema) -> None:
+    """Compare ``schema`` against the committed fixture (or regenerate)."""
+    path = GOLDEN_DIR / name
+    rendered = json.dumps(schema, indent=2, sort_keys=True) + "\n"
+    if UPDATE:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+    if not path.exists():
+        pytest.fail(
+            f"golden fixture {path} missing; run with REPRO_UPDATE_GOLDEN=1 "
+            f"to create it")
+    expected = path.read_text(encoding="utf-8")
+    if rendered != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            rendered.splitlines(keepends=True),
+            fromfile=f"golden/{name} (committed)",
+            tofile=f"golden/{name} (current code)",
+        ))
+        pytest.fail(
+            f"schema of {name.removesuffix('.json')} drifted from the "
+            f"golden fixture.\nIf the change is intentional, regenerate "
+            f"with REPRO_UPDATE_GOLDEN=1 and commit the fixture.\n{diff}")
+
+
+@pytest.fixture(scope="module")
+def traced_run(ota1, ota1_placement, tech, tmp_path_factory):
+    """One tiny traced + checkpointed database construction."""
+    tmp = tmp_path_factory.mktemp("golden")
+    checkpoint = tmp / "db.ckpt.jsonl"
+    trace = tmp / "run.trace.jsonl"
+    obs = RunContext.to_file(trace, run_id="run-golden")
+    generate_dataset(ota1, ota1_placement, tech,
+                     DatasetConfig(num_samples=2, seed=0),
+                     checkpoint_path=checkpoint, obs=obs)
+    obs.close()
+    return {
+        "checkpoint": [json.loads(line)
+                       for line in checkpoint.read_text().splitlines()],
+        "trace": load_trace(trace),
+        "manifest": json.loads(obs.manifest_path.read_text()),
+    }
+
+
+class TestGoldenSchemas:
+    def test_checkpoint_header_schema(self, traced_run):
+        header = traced_run["checkpoint"][0]
+        assert header["kind"] == "header"
+        check_golden("checkpoint_header_schema.json", schema_of(header))
+
+    def test_checkpoint_sample_schema(self, traced_run):
+        sample = traced_run["checkpoint"][1]
+        assert sample["kind"] == "sample"
+        check_golden("checkpoint_sample_schema.json", schema_of(sample))
+
+    def test_trace_header_schema(self, traced_run):
+        header = traced_run["trace"][0]
+        assert header["kind"] == "header"
+        check_golden("trace_header_schema.json", schema_of(header))
+
+    def test_trace_span_schema(self, traced_run):
+        spans = [r for r in traced_run["trace"] if r["kind"] == "span"]
+        # One exemplar per span name: shapes may differ in attrs.
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], span)
+        schema = {name: schema_of(by_name[name])
+                  for name in sorted(by_name)}
+        check_golden("trace_span_schema.json", schema)
+
+    def test_manifest_schema(self, traced_run):
+        manifest = traced_run["manifest"]
+        assert manifest["kind"] == "manifest"
+        check_golden("manifest_schema.json", schema_of(manifest))
+
+    def test_manifest_counter_names_locked(self, traced_run):
+        """The documented metric names are part of the contract."""
+        counters = traced_run["manifest"]["counters"]
+        assert set(counters) == {
+            "astar_expansions",
+            "samples_requested",
+            "samples_resampled",
+            "samples_reused",
+            "samples_skipped",
+            "samples_valid",
+        }
+
+
+class TestSchemaOf:
+    def test_scalars(self):
+        assert schema_of(True) == "bool"
+        assert schema_of(3) == "int"
+        assert schema_of(1.5) == "float"
+        assert schema_of("x") == "str"
+        assert schema_of(None) == "null"
+
+    def test_uniform_list_collapses(self):
+        assert schema_of([1, 2, 3]) == ["int"]
+        assert schema_of([[1.0, 2.0], [3.0, 4.0]]) == [["float"]]
+
+    def test_mixed_list_keeps_shapes(self):
+        assert schema_of([1, "a"]) == ["int", "str"]
+
+    def test_dict_keys_sorted(self):
+        assert schema_of({"b": 1, "a": "x"}) == {"a": "str", "b": "int"}
+
+    def test_diff_is_readable(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "tests.test_obs_golden.GOLDEN_DIR", tmp_path, raising=False)
+        monkeypatch.setattr("tests.test_obs_golden.UPDATE", False)
+        (tmp_path / "t.json").write_text(
+            json.dumps({"a": "int"}, indent=2, sort_keys=True) + "\n")
+        with pytest.raises(pytest.fail.Exception) as exc_info:
+            check_golden("t.json", {"a": "str"})
+        message = str(exc_info.value)
+        assert "REPRO_UPDATE_GOLDEN" in message
+        assert '-  "a": "int"' in message
+        assert '+  "a": "str"' in message
