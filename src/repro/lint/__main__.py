@@ -1,0 +1,113 @@
+"""CLI entry point: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 clean, 1 findings (or stale baseline entries under
+``--strict-baseline``), 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import write_baseline
+from repro.lint.config import load_config
+from repro.lint.engine import run_lint
+from repro.lint.output import FORMATS, render
+from repro.lint.rules import all_rules, rule_catalog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant linter for the repro codebase")
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: [tool.repro-lint] paths)")
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root holding pyproject.toml (default: cwd)")
+    parser.add_argument(
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run exclusively")
+    parser.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip (adds to config ignore)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: [tool.repro-lint] baseline)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings as the new baseline and exit 0")
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail (exit 1) when the baseline has stale entries")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def _split_ids(raw: str | None) -> set[str] | None:
+    if raw is None:
+        return None
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(f"{entry['id']}  {entry['name']}: {entry['invariant']}")
+        return 0
+
+    try:
+        config = load_config(Path(args.root))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.baseline is not None:
+        config.baseline = args.baseline
+    if args.no_baseline:
+        config.baseline = None
+
+    select = _split_ids(args.select)
+    ignore = (config.ignored() | (_split_ids(args.ignore) or set()))
+    rules = all_rules(select=select, ignore=ignore)
+    if not rules:
+        print("error: no rules selected", file=sys.stderr)
+        return 2
+
+    result = run_lint(paths=args.paths or None, config=config, rules=rules)
+
+    if args.write_baseline:
+        target = config.baseline_path()
+        if target is None:
+            print("error: --write-baseline needs a baseline path "
+                  "(--baseline or [tool.repro-lint] baseline)",
+                  file=sys.stderr)
+            return 2
+        # findings here are the ones NOT already baselined; merge both
+        # sets so regeneration is stable.
+        write_baseline(target, result.findings + result.baselined)
+        print(f"wrote {len(result.findings) + len(result.baselined)} "
+              f"entries to {target}")
+        return 0
+
+    print(render(result, args.fmt))
+    if result.findings:
+        return 1
+    if args.strict_baseline and result.stale_baseline:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""The committed baseline: grandfathered findings that don't fail CI.
+
+A baseline entry is a fingerprint of (rule id, file path, offending
+line *text*, occurrence index) — deliberately not the line number, so
+edits elsewhere in the file don't invalidate it.  The occurrence index
+disambiguates identical violations on identical lines (the n-th
+``x == 0.0`` of a file keeps its own entry).
+
+The intended workflow keeps the baseline **empty**: fix or suppress
+findings instead of baselining them.  The file exists for the one
+legitimate case — landing a new rule against a tree with pre-existing
+violations that a separate change will burn down — and
+``python -m repro.lint --write-baseline`` regenerates it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: Schema version of the baseline file; bump on incompatible changes.
+BASELINE_VERSION = 1
+
+
+def _fingerprints(findings: list[Finding]) -> list[str]:
+    """Stable fingerprint per finding, with occurrence disambiguation."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out = []
+    for finding in sorted(findings):
+        key = finding.fingerprint_key()
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        rule, path, text = key
+        out.append(f"{rule}::{path}::{text}::{index}")
+    return out
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: set[str] = field(default_factory=set)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], set[str]]:
+        """Split findings into (new, baselined) plus stale entries.
+
+        Stale entries — present in the baseline but no longer found —
+        signal that the baseline can be ratcheted down.
+        """
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        used: set[str] = set()
+        ordered = sorted(findings)
+        for finding, fingerprint in zip(ordered, _fingerprints(ordered)):
+            if fingerprint in self.entries:
+                matched.append(finding)
+                used.add(fingerprint)
+            else:
+                new.append(finding)
+        return new, matched, self.entries - used
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}, "
+            f"expected {BASELINE_VERSION}")
+    entries = data.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} entries must be a list")
+    return Baseline(entries=set(entries))
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> Path:
+    """Write ``findings`` as the new baseline; returns the path."""
+    path = Path(path)
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": sorted(set(_fingerprints(list(findings)))),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path

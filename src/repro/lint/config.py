@@ -1,0 +1,83 @@
+"""Linter configuration from ``pyproject.toml`` (``[tool.repro-lint]``).
+
+Recognized keys::
+
+    [tool.repro-lint]
+    paths = ["src/repro"]            # what to lint by default
+    baseline = "lint-baseline.json"  # grandfathered findings
+    ignore = []                      # rule ids switched off globally
+    exclude = []                     # fnmatch patterns on repo-relative paths
+
+``tomllib`` ships with Python 3.11+; on 3.10 (the floor of
+``requires-python``) the stdlib has no TOML parser, so configuration
+degrades to the defaults below rather than failing — the CLI flags
+still override everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: no stdlib TOML parser.
+    tomllib = None  # type: ignore[assignment]
+
+#: Default lint targets, repo-relative.
+DEFAULT_PATHS = ("src/repro",)
+
+#: Default baseline location, repo-relative.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class LintConfig:
+    """Effective linter configuration."""
+
+    root: Path = field(default_factory=Path.cwd)
+    paths: tuple[str, ...] = DEFAULT_PATHS
+    baseline: str | None = DEFAULT_BASELINE
+    ignore: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+
+    def baseline_path(self) -> Path | None:
+        if not self.baseline:
+            return None
+        return self.root / self.baseline
+
+    def ignored(self) -> set[str]:
+        return {rule_id.upper() for rule_id in self.ignore}
+
+
+def _string_tuple(value: object, key: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+            isinstance(item, str) for item in value):
+        raise ValueError(f"[tool.repro-lint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(root: str | Path) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``root``'s pyproject.toml."""
+    root = Path(root)
+    config = LintConfig(root=root)
+    pyproject = root / "pyproject.toml"
+    if tomllib is None or not pyproject.exists():
+        return config
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        raise ValueError("[tool.repro-lint] must be a table")
+    if "paths" in section:
+        config.paths = _string_tuple(section["paths"], "paths")
+    if "baseline" in section:
+        baseline = section["baseline"]
+        if baseline is not None and not isinstance(baseline, str):
+            raise ValueError("[tool.repro-lint] baseline must be a string")
+        config.baseline = baseline or None
+    if "ignore" in section:
+        config.ignore = _string_tuple(section["ignore"], "ignore")
+    if "exclude" in section:
+        config.exclude = _string_tuple(section["exclude"], "exclude")
+    return config

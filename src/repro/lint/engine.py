@@ -1,0 +1,177 @@
+"""The lint engine: one parse, one walk, all rules, then filters.
+
+Per file the engine parses once, builds the import table, walks the
+AST a single time dispatching each node to every rule that registered
+a ``visit_<NodeType>`` handler, then filters the raw findings through
+inline suppressions.  :func:`run_lint` adds path discovery, the
+configured excludes, and the committed-baseline partition on top.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, load_baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.rules import all_rules
+from repro.lint.rules.base import FileContext, Rule
+from repro.lint.suppress import parse_suppressions
+
+#: Rule id used for files that fail to parse; not suppressible via
+#: select/ignore because an unparseable file checks nothing at all.
+PARSE_ERROR_ID = "PARSE000"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` invocation.
+
+    Attributes:
+        findings: NEW findings (not suppressed, not baselined), sorted.
+        baselined: findings matched by the committed baseline.
+        stale_baseline: baseline entries that no longer match anything —
+            the baseline can be ratcheted down by these.
+        files_checked: number of files parsed and walked.
+        suppressed: number of findings silenced by inline directives.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: set[str] = field(default_factory=set)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _module_name(rel_path: str) -> str | None:
+    """Dotted module for a repo-relative path (``src/`` layout aware)."""
+    parts = Path(rel_path).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return None
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else None
+
+
+def _dispatch_table(rules: list[Rule]) -> dict[type, list]:
+    table: dict[type, list] = {}
+    for rule in rules:
+        for node_type, method_name in rule.visitors():
+            table.setdefault(node_type, []).append(
+                (rule, getattr(rule, method_name)))
+    return table
+
+
+def _walk(node: ast.AST, table: dict[type, list], ctx: FileContext) -> None:
+    handlers = table.get(type(node))
+    if handlers:
+        for _rule, method in handlers:
+            method(node, ctx)
+    ctx.parent_stack.append(node)
+    for child in ast.iter_child_nodes(node):
+        _walk(child, table, ctx)
+    ctx.parent_stack.pop()
+
+
+def lint_source(source: str, rel_path: str, rules: list[Rule] | None = None,
+                module: str | None = None) -> tuple[list[Finding], int]:
+    """Lint one source string; returns (findings, suppressed count).
+
+    ``module`` overrides the dotted-module guess — tests use it to put
+    fixture files "inside" a package-scoped rule's jurisdiction.
+    """
+    if rules is None:
+        rules = all_rules()
+    if module is None:
+        module = _module_name(rel_path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        finding = Finding(
+            path=rel_path, line=line, col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+            line_text="")
+        return [finding], 0
+    ctx = FileContext(rel_path, source, module=module)
+    ctx.record_imports(tree)
+    _walk(tree, _dispatch_table(rules), ctx)
+    suppressions = parse_suppressions(source)
+    kept = [f for f in ctx.findings
+            if not suppressions.is_suppressed(f.rule_id, f.line)]
+    return sorted(kept), len(ctx.findings) - len(kept)
+
+
+def lint_file(path: str | Path, root: str | Path,
+              rules: list[Rule] | None = None,
+              module: str | None = None) -> tuple[list[Finding], int]:
+    """Lint one file; paths in findings are relative to ``root``."""
+    path, root = Path(path), Path(root)
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, rel, rules=rules, module=module)
+
+
+def iter_python_files(paths: list[Path],
+                      root: Path,
+                      exclude: tuple[str, ...] = ()) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    kept = []
+    for path in sorted(out):
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        if any(fnmatch(rel, pattern) for pattern in exclude):
+            continue
+        kept.append(path)
+    return kept
+
+
+def run_lint(paths: list[str | Path] | None = None,
+             config: LintConfig | None = None,
+             rules: list[Rule] | None = None,
+             baseline: Baseline | None = None) -> LintResult:
+    """Lint ``paths`` (default: the configured targets) end to end."""
+    config = config if config is not None else LintConfig()
+    root = config.root
+    if rules is None:
+        rules = all_rules(ignore=config.ignored())
+    targets = [Path(p) if Path(p).is_absolute() else root / p
+               for p in (paths or config.paths)]
+    if baseline is None:
+        baseline_path = config.baseline_path()
+        baseline = (load_baseline(baseline_path)
+                    if baseline_path is not None else Baseline())
+
+    result = LintResult()
+    collected: list[Finding] = []
+    for path in iter_python_files(targets, root, config.exclude):
+        findings, suppressed = lint_file(path, root, rules=rules)
+        collected.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    new, matched, stale = baseline.partition(collected)
+    result.findings = new
+    result.baselined = matched
+    result.stale_baseline = stale
+    return result

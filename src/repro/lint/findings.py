@@ -1,0 +1,50 @@
+"""The :class:`Finding` record every rule emits.
+
+A finding pins one rule violation to a file position plus the source
+line's text.  The line *text* (not the number) feeds the baseline
+fingerprint, so unrelated edits above a grandfathered finding don't
+invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: repo-relative POSIX path of the offending file.
+        line: 1-based line number.
+        col: 1-based column number.
+        rule_id: id of the rule that fired (e.g. ``CLK001``).
+        message: human-readable explanation with the fix direction.
+        line_text: stripped source text of the offending line.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+    line_text: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+            "line_text": self.line_text,
+        }
+
+    def fingerprint_key(self) -> tuple[str, str, str]:
+        """The baseline identity, independent of line numbers."""
+        return (self.rule_id, self.path, self.line_text)

@@ -1,0 +1,57 @@
+"""Rule registry: every shipped rule, in catalog order.
+
+Adding a rule = writing a :class:`~repro.lint.rules.base.Rule` subclass
+with ``visit_*`` methods and appending it to :data:`ALL_RULES`; the
+engine dispatches it from the existing single walk, and
+``tests/test_lint_repo.py`` will demand a bad/good fixture pair for it.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import FileContext, Rule
+from repro.lint.rules.clock import WallClockRule
+from repro.lint.rules.errors import SwallowedExceptionRule, UntypedStageRaiseRule
+from repro.lint.rules.naming import MetricNameRule, SpanNameRule
+from repro.lint.rules.numeric import (
+    CachedMethodRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+)
+from repro.lint.rules.rng import NumpyGlobalRngRule, StdlibRandomRule
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    NumpyGlobalRngRule,
+    StdlibRandomRule,
+    WallClockRule,
+    SwallowedExceptionRule,
+    UntypedStageRaiseRule,
+    MetricNameRule,
+    SpanNameRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    CachedMethodRule,
+)
+
+
+def all_rules(select: set[str] | None = None,
+              ignore: set[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules, honoring select/ignore id sets."""
+    select = {s.upper() for s in select} if select else None
+    ignore = {s.upper() for s in ignore} if ignore else set()
+    rules = []
+    for rule_cls in ALL_RULES:
+        if select is not None and rule_cls.id not in select:
+            continue
+        if rule_cls.id in ignore:
+            continue
+        rules.append(rule_cls())
+    return rules
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    """Id/name/invariant of every registered rule (for --list-rules)."""
+    return [{"id": cls.id, "name": cls.name, "invariant": cls.invariant}
+            for cls in ALL_RULES]
+
+
+__all__ = ["ALL_RULES", "FileContext", "Rule", "all_rules", "rule_catalog"]

@@ -1,0 +1,139 @@
+"""Rule base class and the per-file context rules see.
+
+A rule is a stateless visitor: it declares ``visit_<NodeType>`` methods
+and the engine dispatches matching nodes from ONE shared walk of each
+file's AST — adding a rule never adds a parse or a traversal.  Rules
+report through :meth:`FileContext.report`; suppression and baseline
+filtering happen downstream in the engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+
+
+class FileContext:
+    """Everything a rule may ask about the file under analysis.
+
+    Attributes:
+        rel_path: repo-relative POSIX path.
+        module: dotted module name (``repro.core.dataset``) when the
+            file lies under a recognized package root, else ``None``.
+        source_lines: the file's source, split into lines.
+        imports: local name -> dotted origin, built from the file's
+            import statements (``np`` -> ``numpy``, and ``datetime``
+            -> ``datetime.datetime`` after ``from datetime import
+            datetime``).
+        parent_stack: ancestors of the node currently being visited,
+            outermost first (the direct parent is ``parent_stack[-1]``).
+    """
+
+    def __init__(self, rel_path: str, source: str,
+                 module: str | None = None) -> None:
+        self.rel_path = rel_path
+        self.module = module
+        self.source_lines = source.splitlines()
+        self.imports: dict[str, str] = {}
+        self.parent_stack: list[ast.AST] = []
+        self.findings: list[Finding] = []
+
+    # -- queries ----------------------------------------------------------------------
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this file's module lies under any of ``packages``."""
+        if self.module is None:
+            return False
+        return any(self.module == pkg or self.module.startswith(pkg + ".")
+                   for pkg in packages)
+
+    def qualified_name(self, node: ast.AST) -> str | None:
+        """Resolve an attribute/name chain through the import table.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` after
+        ``import numpy as np``; a chain rooted at a non-imported name
+        (``self.obs.counter``) resolves to ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        origin = self.imports.get(node.id)
+        if origin is None:
+            return None
+        return ".".join([origin, *reversed(parts)]) if parts else origin
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.source_lines):
+            return self.source_lines[line - 1].strip()
+        return ""
+
+    # -- reporting --------------------------------------------------------------------
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        self.findings.append(Finding(
+            path=self.rel_path, line=line, col=col, rule_id=rule.id,
+            message=message, line_text=self.line_text(line)))
+
+    # -- import table (filled by the engine's pre-pass) -------------------------------
+
+    def record_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports don't resolve statically
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.imports[local] = f"{node.module}.{alias.name}"
+
+
+class Rule:
+    """Base class: subclass, set the metadata, add ``visit_*`` methods.
+
+    Attributes:
+        id: stable rule id used in suppressions and baselines.
+        name: short kebab-case label.
+        invariant: one-line statement of what the rule protects.
+    """
+
+    id = ""
+    name = ""
+    invariant = ""
+
+    def visitors(self) -> Iterator[tuple[type[ast.AST], str]]:
+        """Yield (node type, method name) pairs this rule handles."""
+        for attr in dir(self):
+            if not attr.startswith("visit_"):
+                continue
+            node_type = getattr(ast, attr[len("visit_"):], None)
+            if isinstance(node_type, type) and issubclass(node_type, ast.AST):
+                yield node_type, attr
+
+
+def walk_excluding_nested_scopes(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested def/class scopes.
+
+    Used by rules asking "does THIS block do X" (e.g. re-raise), where
+    a nested function doing X on some later call does not count.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

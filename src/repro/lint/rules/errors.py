@@ -1,0 +1,119 @@
+"""Error-taxonomy discipline: failures stay typed and visible.
+
+PR 1 introduced the :class:`~repro.reliability.errors.ReproError`
+taxonomy so the degradation policy can tell a routing failure from a
+simulation failure and retry/skip/abort accordingly.  Two ways code
+drifts out of it:
+
+* a handler *swallows* — ``except:`` or ``except Exception:`` with no
+  re-raise — and a failure the policy should have counted vanishes;
+* stage code raises an untyped operational error (``RuntimeError``,
+  bare ``Exception``), which the policy cannot attribute to a stage.
+
+Contract violations (``ValueError`` on a bad argument, ``KeyError`` on
+a bad lookup, ``NotImplementedError``) are *programmer* errors, not
+pipeline failures, and stay builtin — the taxonomy is for failures the
+degradation policy is meant to survive.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import (
+    FileContext,
+    Rule,
+    walk_excluding_nested_scopes,
+)
+
+#: Packages whose raises must stay inside the taxonomy (stage code the
+#: degradation policy supervises).
+STAGE_PACKAGES = ("repro.core", "repro.router",
+                  "repro.extraction", "repro.simulation")
+
+#: The ReproError taxonomy (see repro/reliability/errors.py).
+TAXONOMY = frozenset({
+    "ReproError", "RoutingError", "ExtractionError", "SimulationError",
+    "RelaxationError", "DataQualityError", "CheckpointError",
+})
+
+#: Builtin exceptions signalling caller contract violations — allowed
+#: anywhere, because they mark bugs, not survivable pipeline failures.
+CONTRACT_ERRORS = frozenset({
+    "ValueError", "TypeError", "KeyError", "IndexError",
+    "NotImplementedError", "AssertionError", "StopIteration",
+})
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> tuple[bool, str]:
+    """Whether the handler catches Exception/BaseException (or is bare)."""
+    if handler.type is None:
+        return True, "bare `except:`"
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [n.id for n in handler.type.elts if isinstance(n, ast.Name)]
+    elif isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    for name in names:
+        if name in ("Exception", "BaseException"):
+            return True, f"`except {name}`"
+    return False, ""
+
+
+class SwallowedExceptionRule(Rule):
+    """EXC001: broad handlers must re-raise (usually as a ReproError)."""
+
+    id = "EXC001"
+    name = "swallowed-exception"
+    invariant = ("no failure disappears: every broad handler re-raises, "
+                 "normally wrapped into the ReproError taxonomy with "
+                 "stage context")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: FileContext) -> None:
+        broad, label = _catches_broad(node)
+        if not broad:
+            return
+        for child in walk_excluding_nested_scopes(node.body):
+            if isinstance(child, ast.Raise):
+                return
+        ctx.report(self, node, (
+            f"{label} swallows the failure — re-raise, normally wrapped "
+            "into a ReproError subclass with stage context, so the "
+            "degradation policy can count and attribute it"))
+
+
+class UntypedStageRaiseRule(Rule):
+    """EXC002: stage code raises taxonomy or contract errors only."""
+
+    id = "EXC002"
+    name = "untyped-stage-raise"
+    invariant = ("core/router/extraction/simulation raise ReproError "
+                 "subclasses for pipeline failures (contract violations "
+                 "stay builtin), so degradation can attribute every "
+                 "failure to a stage")
+
+    def visit_Raise(self, node: ast.Raise, ctx: FileContext) -> None:
+        if not ctx.in_package(*STAGE_PACKAGES):
+            return
+        exc = node.exc
+        if exc is None or isinstance(exc, ast.Name):
+            return  # re-raise of the active or a captured exception
+        if not isinstance(exc, ast.Call):
+            return
+        func = exc.func
+        if isinstance(func, ast.Attribute):
+            return  # method call on an exception object (with_context)
+        if not isinstance(func, ast.Name):
+            return
+        name = func.id
+        if name in TAXONOMY or name in CONTRACT_ERRORS:
+            return
+        if name == "error_for_stage":
+            return  # taxonomy factory from repro.reliability.errors
+        ctx.report(self, node, (
+            f"stage code raises `{name}` — raise a ReproError subclass "
+            "(RoutingError/ExtractionError/SimulationError/… or "
+            "error_for_stage(stage)) so the degradation policy can "
+            "attribute the failure; builtin contract errors "
+            "(ValueError, TypeError, KeyError, …) are exempt"))

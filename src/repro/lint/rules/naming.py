@@ -1,0 +1,123 @@
+"""Observability naming: metric and span names follow the locked schemes.
+
+The golden fixtures (tests/golden/) lock the *shapes* of traces and
+manifests; these rules lock the *names* flowing into them:
+
+* metrics are ``snake_case``; a **labelled counter** ends in ``_total``
+  (``retry_total{stage=...}``), and gauges/histograms never do;
+* span names are dotted lowercase segments (``dataset.sample``,
+  ``stage.guided_routing``);
+* both must be string literals at the call site — a computed name
+  cannot be audited statically and invites unbounded cardinality.
+
+The rules check instrumentation *call sites* (``obs.counter(...)``,
+``ctx.span(...)``); the ``repro.obs`` package itself is exempt, since
+the registry/context implementation forwards caller-supplied names
+through parameters by design.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.rules.base import FileContext, Rule
+
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+_SPAN_METHODS = frozenset({"span", "emit_span"})
+
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)*$")
+_LABEL_KEY = re.compile(r"^[a-z][a-z0-9_]*$")
+_SPAN_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+
+
+def _instrumentation_call(node: ast.Call, ctx: FileContext,
+                          methods: frozenset[str]) -> str | None:
+    """The method name when ``node`` looks like an instrumentation call.
+
+    Requires an attribute call (``something.counter(...)``) whose
+    receiver is NOT a resolvable imported module — that distinction
+    keeps ``np.histogram(...)`` out of scope while catching every
+    ``obs``/``ctx``/``self.obs`` call site.
+    """
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in methods:
+        return None
+    if ctx.qualified_name(func) is not None:
+        return None
+    return func.attr
+
+
+class MetricNameRule(Rule):
+    """OBS001: metric names are snake_case; labelled counters end _total."""
+
+    id = "OBS001"
+    name = "metric-naming"
+    invariant = ("metric names match the noun_total{label=...} scheme the "
+                 "manifest golden fixtures lock: snake_case, labelled "
+                 "counters end in _total, gauges/histograms never do")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.in_package("repro.obs"):
+            return
+        method = _instrumentation_call(node, ctx, _METRIC_METHODS)
+        if method is None or not node.args:
+            return
+        name_node = node.args[0]
+        if not (isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)):
+            ctx.report(self, node, (
+                f".{method}() name must be a string literal — computed "
+                "metric names defeat static auditing and invite "
+                "unbounded cardinality"))
+            return
+        name = name_node.value
+        if not _METRIC_NAME.match(name):
+            ctx.report(self, node, (
+                f"metric name {name!r} is not snake_case "
+                "(expected e.g. `samples_valid`, `retry_total`)"))
+            return
+        labelled = bool(node.keywords)
+        if method == "counter" and labelled and not name.endswith("_total"):
+            ctx.report(self, node, (
+                f"labelled counter {name!r} must end in `_total` "
+                "(scheme: noun_total{{label=...}}, like retry_total)"))
+        elif method != "counter" and name.endswith("_total"):
+            ctx.report(self, node, (
+                f"{method} name {name!r} ends in `_total`, which is "
+                "reserved for counters"))
+        for keyword in node.keywords:
+            if keyword.arg is not None and not _LABEL_KEY.match(keyword.arg):
+                ctx.report(self, node, (
+                    f"label key {keyword.arg!r} on metric {name!r} is "
+                    "not snake_case"))
+
+
+class SpanNameRule(Rule):
+    """OBS002: span names are literal dotted lowercase segments."""
+
+    id = "OBS002"
+    name = "span-naming"
+    invariant = ("span names match the dotted `stage.*`-style scheme the "
+                 "trace golden fixtures lock (dataset.sample, route.net, "
+                 "stage.guided_routing)")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        if ctx.in_package("repro.obs"):
+            return
+        method = _instrumentation_call(node, ctx, _SPAN_METHODS)
+        if method is None or not node.args:
+            return
+        name_node = node.args[0]
+        if not (isinstance(name_node, ast.Constant)
+                and isinstance(name_node.value, str)):
+            ctx.report(self, node, (
+                f".{method}() name must be a string literal — computed "
+                "span names defeat static auditing of the trace schema"))
+            return
+        name = name_node.value
+        if not _SPAN_NAME.match(name):
+            ctx.report(self, node, (
+                f"span name {name!r} does not match the dotted lowercase "
+                "scheme (expected e.g. `dataset.sample`, "
+                "`stage.guided_routing`)"))

@@ -1,0 +1,140 @@
+"""Numeric and API hygiene: float equality, mutable defaults, cached methods.
+
+Three classic correctness traps that have each bitten numerical
+codebases like this one:
+
+* ``x == 0.0`` on a computed float is almost always a tolerance bug
+  (and when exactness IS intended — a sentinel never touched by
+  arithmetic — the site should say so with a suppression);
+* a mutable default argument is shared across calls, so one caller's
+  mutation leaks into the next — deadly for anything keyed by sample;
+* ``functools.lru_cache`` on a method keeps ``self`` alive in the
+  cache key forever: a leak, and a stale-result source once the object
+  mutates (the perf layer's ForwardCacheStore exists precisely to do
+  this correctly with weakrefs + fingerprints).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import FileContext, Rule
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op,
+                                                    (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+class FloatEqualityRule(Rule):
+    """NUM001: no ``==``/``!=`` against float literals."""
+
+    id = "NUM001"
+    name = "float-equality"
+    invariant = ("computed floats are compared with tolerances "
+                 "(math.isclose / np.isclose / an explicit epsilon), "
+                 "never `==` against a float literal")
+
+    def visit_Compare(self, node: ast.Compare, ctx: FileContext) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                ctx.report(self, node, (
+                    "float literal compared with ==/!= — use a tolerance "
+                    "(abs(x - y) < eps, math.isclose, np.isclose); if "
+                    "exact equality is the intent, suppress with a "
+                    "comment saying why"))
+                return
+
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CONSTRUCTORS)
+
+
+class MutableDefaultRule(Rule):
+    """NUM002: no mutable default arguments."""
+
+    id = "NUM002"
+    name = "mutable-default"
+    invariant = ("default arguments are immutable; per-call state uses "
+                 "`None` plus an in-body constructor (or a dataclass "
+                 "default_factory)")
+
+    def _check(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+               ctx: FileContext) -> None:
+        defaults = [*node.args.defaults,
+                    *[d for d in node.args.kw_defaults if d is not None]]
+        for default in defaults:
+            if _is_mutable_default(default):
+                ctx.report(self, default, (
+                    f"mutable default argument in `{node.name}()` is "
+                    "shared across every call — default to None and "
+                    "construct inside the body"))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef,
+                               ctx: FileContext) -> None:
+        self._check(node, ctx)
+
+
+_CACHE_DECORATORS = frozenset({
+    "functools.lru_cache", "functools.cache", "functools.cached_property",
+})
+_CACHE_BARE_NAMES = frozenset({"lru_cache", "cache"})
+
+
+class CachedMethodRule(Rule):
+    """NUM003: no ``lru_cache``/``cache`` on instance methods."""
+
+    id = "NUM003"
+    name = "cached-method"
+    invariant = ("method results are never memoized through lru_cache "
+                 "(it pins self in the cache key: a leak plus stale "
+                 "results after mutation) — use ForwardCacheStore-style "
+                 "weakref caches instead")
+
+    def _decorator_name(self, node: ast.expr,
+                        ctx: FileContext) -> str | None:
+        if isinstance(node, ast.Call):
+            node = node.func
+        qualname = ctx.qualified_name(node)
+        if qualname is not None:
+            return qualname if qualname in _CACHE_DECORATORS else None
+        if isinstance(node, ast.Name) and node.id in _CACHE_BARE_NAMES:
+            # Covers `from functools import lru_cache` re-exported under
+            # the same name even when the import table missed it.
+            return node.id
+        return None
+
+    def visit_FunctionDef(self, node: ast.FunctionDef,
+                          ctx: FileContext) -> None:
+        if not ctx.parent_stack or not isinstance(ctx.parent_stack[-1],
+                                                  ast.ClassDef):
+            return
+        args = node.args.posonlyargs + node.args.args
+        if not args or args[0].arg not in ("self", "cls"):
+            return  # staticmethod-style: caching is fine
+        for decorator in node.decorator_list:
+            name = self._decorator_name(decorator, ctx)
+            if name is not None and "cached_property" not in name:
+                ctx.report(self, decorator, (
+                    f"`{name}` on method `{node.name}` keeps self alive "
+                    "in the cache key (leak + stale results after "
+                    "mutation) — cache per-instance state explicitly, "
+                    "e.g. a weakref keyed store like perf.cache"))

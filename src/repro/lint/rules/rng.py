@@ -1,0 +1,69 @@
+"""RNG discipline: all randomness flows through seeded Generators.
+
+Bit-identical parallel dataset generation (PR 2) hangs on every random
+draw coming from an explicit, per-sample-seeded
+``np.random.Generator`` stream.  One call into numpy's *module-level*
+global state (``np.random.rand``, ``np.random.seed``, …) or into the
+stdlib ``random`` module makes results depend on import order and
+worker count, silently breaking the ``--workers`` identity guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.rules.base import FileContext, Rule
+
+#: numpy.random attributes that construct explicit generators/seeds —
+#: the sanctioned entry points — as opposed to drawing from the hidden
+#: module-level global RandomState.
+_GENERATOR_FACTORIES = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64",
+})
+
+
+class NumpyGlobalRngRule(Rule):
+    """RNG001: no module-level ``np.random.<fn>()`` draws."""
+
+    id = "RNG001"
+    name = "numpy-global-rng"
+    invariant = ("randomness flows through explicit seeded "
+                 "np.random.Generator streams, never numpy's global state")
+
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        qualname = ctx.qualified_name(node.func)
+        if qualname is None or not qualname.startswith("numpy.random."):
+            return
+        fn = qualname.rsplit(".", 1)[-1]
+        if fn in _GENERATOR_FACTORIES:
+            return
+        ctx.report(self, node, (
+            f"call to numpy's module-level RNG `{qualname}` — draw from "
+            "an explicit seeded np.random.Generator (np.random."
+            "default_rng(seed)) so streams stay per-sample and "
+            "worker-count independent"))
+
+
+class StdlibRandomRule(Rule):
+    """RNG002: the stdlib ``random`` module is banned outright."""
+
+    id = "RNG002"
+    name = "stdlib-random"
+    invariant = ("the stdlib `random` module (global, unseedable per "
+                 "sample) never enters the library")
+
+    def visit_Import(self, node: ast.Import, ctx: FileContext) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                ctx.report(self, node, (
+                    "import of the stdlib `random` module — use a seeded "
+                    "np.random.Generator instead; global RNG state breaks "
+                    "parallel bit-identity"))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom, ctx: FileContext) -> None:
+        if node.level == 0 and node.module == "random":
+            ctx.report(self, node, (
+                "import from the stdlib `random` module — use a seeded "
+                "np.random.Generator instead; global RNG state breaks "
+                "parallel bit-identity"))

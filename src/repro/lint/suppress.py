@@ -1,0 +1,81 @@
+"""Inline suppression comments: ``# repro-lint: disable=RULE-ID``.
+
+Three forms, parsed from real comment tokens (``tokenize``), so the
+directive inside a string literal is inert:
+
+* ``# repro-lint: disable=CLK001`` — suppresses findings of the listed
+  rules on the *same* line;
+* ``# repro-lint: disable-next-line=CLK001`` — same, one line down
+  (for lines too long to carry the comment);
+* ``# repro-lint: disable-file=CLK001`` — anywhere in the file,
+  suppresses the listed rules for the whole file.
+
+Several ids separate with commas; ``all`` matches every rule.  Text
+after ``--`` is the required human justification and is ignored by the
+parser (but reviewers should not be ignoring it).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_,\s-]+?)(?:\s*--.*)?$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    def add(self, line: int, rule_ids: set[str]) -> None:
+        self.by_line.setdefault(line, set()).update(rule_ids)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        rule_id = rule_id.upper()
+        if rule_id in self.file_wide or "ALL" in self.file_wide:
+            return True
+        active = self.by_line.get(line)
+        return bool(active) and (rule_id in active or "ALL" in active)
+
+
+def _parse_ids(raw: str) -> set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every suppression directive from ``source``.
+
+    Tokenization errors (the engine only calls this after a successful
+    ``ast.parse``, so they are rare) degrade to "no suppressions"
+    rather than crashing the lint run.
+    """
+    out = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if not match:
+            continue
+        ids = _parse_ids(match.group("ids"))
+        if not ids:
+            continue
+        kind = match.group("kind")
+        if kind == "disable-file":
+            out.file_wide.update(ids)
+        elif kind == "disable-next-line":
+            out.add(token.start[0] + 1, ids)
+        else:
+            out.add(token.start[0], ids)
+    return out

@@ -190,9 +190,13 @@ class RunContext:
         if self.trace_path is not None and enabled:
             self.trace_path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.trace_path.open("w", encoding="utf-8")
-            self._write_json({"kind": "header", "version": TRACE_VERSION,
-                              "run_id": self.run_id,
-                              "created_unix": time.time()})
+            self._write_json({
+                "kind": "header", "version": TRACE_VERSION,
+                "run_id": self.run_id,
+                # Deliberately wall-clock: created_unix stamps when the
+                # run happened for humans; durations never derive from it.
+                "created_unix": time.time(),  # repro-lint: disable=CLK001 -- manifest timestamp
+            })
 
     # -- constructors ---------------------------------------------------------------
 

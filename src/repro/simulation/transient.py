@@ -21,6 +21,10 @@ from scipy.linalg import lu_factor, lu_solve
 
 from repro.simulation.mna import MnaSystem
 
+#: Below this step amplitude (volts) a waveform counts as flat; real
+#: OTA steps are ~1 V, so this only absorbs float residue.
+AMPLITUDE_FLOOR = 1e-12
+
 
 @dataclass
 class TransientResult:
@@ -126,7 +130,10 @@ def step_response_metrics(
     tail = max(len(wave) // 20, 1)
     final = float(wave[-tail:].mean())
     amplitude = abs(final - wave[0])
-    if amplitude == 0.0:
+    # Flat-waveform guard for the divisions by amplitude below: float
+    # arithmetic can leave a denormal residue instead of exact zero, so
+    # compare against a floor far below any real step (volts).
+    if amplitude < AMPLITUDE_FLOOR:
         return StepMetrics(final_value=final, slew_rate=0.0,
                            settling_time=0.0, overshoot=0.0)
 

@@ -1,0 +1,11 @@
+"""Violates CLK001: wall clocks measure durations."""
+
+import time
+from datetime import datetime
+
+
+def timed_stage(work):
+    start = time.time()
+    stamp = datetime.now()
+    work()
+    return time.time() - start, stamp

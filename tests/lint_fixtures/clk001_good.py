@@ -1,0 +1,12 @@
+"""Compliant with CLK001: perf_counter for durations; a suppressed
+wall-clock read for the one human-facing timestamp."""
+
+import time
+
+
+def timed_stage(work):
+    start = time.perf_counter()
+    work()
+    elapsed = time.perf_counter() - start
+    stamp = time.time()  # repro-lint: disable=CLK001 -- manifest timestamp
+    return elapsed, stamp

@@ -1,0 +1,16 @@
+"""Violates EXC001: broad handlers that swallow the failure."""
+
+
+def swallow_bare(work):
+    try:
+        return work()
+    except:  # noqa: E722 (the bare except IS the fixture)
+        return None
+
+
+def swallow_broad(work, log):
+    try:
+        return work()
+    except Exception as exc:
+        log(exc)
+        return None

@@ -1,0 +1,19 @@
+"""Compliant with EXC001: broad handlers re-raise, wrapped and typed."""
+
+from repro.reliability.errors import ReproError, RoutingError
+
+
+def wrap(work):
+    try:
+        return work()
+    except ReproError as exc:
+        raise exc.with_context(stage="routing")
+    except Exception as exc:
+        raise RoutingError(str(exc), stage="routing") from exc
+
+
+def narrow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:
+        return None

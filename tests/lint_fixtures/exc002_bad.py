@@ -1,0 +1,9 @@
+"""Violates EXC002 (when linted as stage code): untyped raises."""
+
+
+def route_failed(net):
+    raise RuntimeError(f"could not route {net}")
+
+
+def give_up():
+    raise Exception("pipeline failure without a stage")

@@ -1,0 +1,21 @@
+"""Compliant with EXC002: taxonomy raises for failures, builtins for
+contract violations, re-raise and with_context untouched."""
+
+from repro.reliability.errors import RoutingError, error_for_stage
+
+
+def route_failed(net):
+    raise RoutingError(f"could not route {net}", stage="routing")
+
+
+def fail_stage(stage):
+    raise error_for_stage(stage)("boom", stage=stage)
+
+
+def validate(pitch):
+    if pitch <= 0:
+        raise ValueError(f"pitch must be positive, got {pitch}")
+
+
+def reraise_with_context(exc):
+    raise exc.with_context(stage="routing")

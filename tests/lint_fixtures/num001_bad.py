@@ -1,0 +1,9 @@
+"""Violates NUM001: equality against float literals."""
+
+
+def degenerate(amplitude, gain):
+    if amplitude == 0.0:
+        return True
+    if gain != 1.5:
+        return False
+    return -2.0 == amplitude

@@ -1,0 +1,13 @@
+"""Compliant with NUM001: tolerances, integer compares untouched."""
+
+import math
+
+EPS = 1e-12
+
+
+def degenerate(amplitude, gain, count):
+    if amplitude < EPS:
+        return True
+    if not math.isclose(gain, 1.5):
+        return False
+    return count == 0 and abs(amplitude - 2.0) < EPS

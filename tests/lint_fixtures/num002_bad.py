@@ -1,0 +1,11 @@
+"""Violates NUM002: mutable default arguments."""
+
+
+def collect(sample, pool=[]):
+    pool.append(sample)
+    return pool
+
+
+def tally(key, counts={}, *, tags=set()):
+    counts[key] = counts.get(key, 0) + 1
+    return counts, tags

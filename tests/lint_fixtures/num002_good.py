@@ -1,0 +1,13 @@
+"""Compliant with NUM002: None defaults, construction in the body."""
+
+
+def collect(sample, pool=None):
+    pool = [] if pool is None else pool
+    pool.append(sample)
+    return pool
+
+
+def tally(key, counts=None, *, tags=frozenset()):
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts, tags

@@ -1,0 +1,14 @@
+"""Violates NUM003: lru_cache pins self on instance methods."""
+
+import functools
+from functools import lru_cache
+
+
+class Forward:
+    @lru_cache(maxsize=None)
+    def evaluate(self, guidance):
+        return guidance * 2
+
+    @functools.cache
+    def geometry(self):
+        return [self]

@@ -1,0 +1,27 @@
+"""Compliant with NUM003: module-level memoization is fine, methods
+cache through explicit per-instance stores."""
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=32)
+def rbf_centers(num):
+    return tuple(range(num))
+
+
+class Forward:
+    def __init__(self):
+        self._geometry = None
+
+    def geometry(self):
+        if self._geometry is None:
+            self._geometry = self._build()
+        return self._geometry
+
+    def _build(self):
+        return []
+
+    @staticmethod
+    @lru_cache(maxsize=8)
+    def lookup(key):
+        return key

@@ -1,0 +1,8 @@
+"""Violates OBS001: metric names off the locked scheme."""
+
+
+def instrument(obs, stage, n):
+    obs.counter("RetryCount").inc()                 # not snake_case
+    obs.counter("failures", stage=stage).inc(n)     # labelled, no _total
+    obs.gauge("pool_size_total").set(n)             # _total on a gauge
+    obs.histogram("restart" + "_seconds").observe(n)  # computed name

@@ -1,0 +1,12 @@
+"""Compliant with OBS001: scheme-conforming metric call sites."""
+
+import numpy as np
+
+
+def instrument(obs, stage, values):
+    obs.counter("samples_valid").inc()
+    obs.counter("retry_total", stage=stage).inc()
+    obs.gauge("pool_size").set(len(values))
+    obs.histogram("restart_seconds").observe(values[-1])
+    # Module functions that merely share a method name stay exempt:
+    return np.histogram(np.asarray(values), bins=4)

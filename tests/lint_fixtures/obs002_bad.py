@@ -1,0 +1,7 @@
+"""Violates OBS002: span names off the dotted lowercase scheme."""
+
+
+def trace(obs, name, seconds):
+    with obs.span("Route.Net"):          # uppercase segments
+        pass
+    obs.emit_span(f"relax.{name}", seconds)  # computed name

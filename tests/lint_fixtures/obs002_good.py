@@ -1,0 +1,9 @@
+"""Compliant with OBS002: literal dotted lowercase span names."""
+
+
+def trace(obs, net, seconds, timer):
+    with obs.span("route.net", net=net, timer=timer):
+        pass
+    with obs.span("stage.guided_routing"):
+        pass
+    obs.emit_span("relax.restart", seconds, outcome="ok")

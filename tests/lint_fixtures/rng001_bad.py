@@ -1,0 +1,8 @@
+"""Violates RNG001: draws from numpy's module-level global RNG."""
+
+import numpy as np
+
+
+def sample_noise(n):
+    np.random.seed(42)
+    return np.random.normal(0.0, 1.0, size=n) + np.random.rand(n)

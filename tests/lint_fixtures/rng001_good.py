@@ -1,0 +1,12 @@
+"""Compliant with RNG001: explicit seeded Generator streams only."""
+
+import numpy as np
+
+
+def sample_noise(n, seed):
+    rng = np.random.default_rng([seed, 0x5EED])
+    return rng.normal(0.0, 1.0, size=n)
+
+
+def typed(rng: np.random.Generator) -> float:
+    return float(rng.random())

@@ -1,0 +1,9 @@
+"""Violates RNG002: uses the stdlib random module."""
+
+import random
+from random import shuffle
+
+
+def pick(items):
+    shuffle(items)
+    return random.choice(items)

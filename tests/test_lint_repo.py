@@ -1,0 +1,86 @@
+"""Tier-1 self-check: the invariant linter passes on the whole tree.
+
+This is the test that turns the repo's conventions — RNG, clock,
+error-taxonomy, observability-naming, numeric hygiene — into
+executable invariants: it lints all of ``src/repro`` with the
+committed configuration and fails on ANY non-baselined finding.  It
+also keeps the baseline honest (empty, no stale entries) so new
+violations can never hide behind grandfathered ones.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.lint import load_config, run_lint
+from repro.lint.output import render_text
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _repo_result():
+    config = load_config(REPO_ROOT)
+    return run_lint(config=config)
+
+
+class TestRepoIsLintClean:
+    def test_no_findings_on_src_repro(self):
+        result = _repo_result()
+        assert result.files_checked > 90, (
+            "linter saw suspiciously few files — path config broken?")
+        assert result.clean, (
+            "repro.lint found invariant violations; fix them or add an "
+            "inline `# repro-lint: disable=<ID> -- <why>` with a real "
+            "justification:\n" + render_text(result))
+
+    def test_no_stale_baseline_entries(self):
+        result = _repo_result()
+        assert result.stale_baseline == set(), (
+            "baseline entries no longer match any finding — ratchet "
+            "them out with --write-baseline")
+
+
+class TestBaselineStaysEmpty:
+    """The committed baseline ships empty and stays that way."""
+
+    def test_baseline_file_exists_and_is_empty(self):
+        path = REPO_ROOT / "lint-baseline.json"
+        assert path.exists(), "committed lint-baseline.json is missing"
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["entries"] == [], (
+            "the baseline must stay empty: fix or inline-suppress "
+            "findings instead of baselining them")
+
+    def test_pyproject_points_at_the_committed_baseline(self):
+        config = load_config(REPO_ROOT)
+        assert config.baseline == "lint-baseline.json"
+        assert config.paths == ("src/repro",)
+        assert config.ignored() == set(), (
+            "no rule may be switched off repo-wide; use inline "
+            "suppressions with justifications instead")
+
+
+class TestSuppressionsCarryJustifications:
+    """Every inline suppression states why, after a `--` separator."""
+
+    def test_all_directives_have_reasons(self):
+        import io
+        import tokenize
+
+        from repro.lint.suppress import _DIRECTIVE
+
+        missing = []
+        for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+            source = path.read_text(encoding="utf-8")
+            for token in tokenize.generate_tokens(
+                    io.StringIO(source).readline):
+                if token.type != tokenize.COMMENT:
+                    continue
+                if _DIRECTIVE.search(token.string) and "--" not in token.string:
+                    missing.append(
+                        f"{path.relative_to(REPO_ROOT)}:{token.start[0]}")
+        assert missing == [], (
+            "suppressions without a `-- <why>` justification: "
+            f"{missing}")

@@ -1,0 +1,165 @@
+"""Fixture-driven behaviour pins for every lint rule.
+
+Each rule has a pair under ``tests/lint_fixtures/``: a minimal
+violating snippet (``<id>_bad.py``) and a compliant twin
+(``<id>_good.py``).  The bad fixture pins exactly how often the rule
+fires (true positives); the good fixture pins that the whole rule set
+stays quiet on conforming code (false positives).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.lint import all_rules, lint_source
+from repro.lint.rules import ALL_RULES
+
+FIXTURES = pathlib.Path(__file__).parent / "lint_fixtures"
+
+#: rule id -> (expected finding count in the bad fixture, module
+#: override handed to the engine — EXC002 only fires in stage packages).
+EXPECTED = {
+    "RNG001": (3, None),
+    "RNG002": (2, None),
+    "CLK001": (3, None),
+    "EXC001": (2, None),
+    "EXC002": (2, "repro.router.fixture"),
+    "OBS001": (4, None),
+    "OBS002": (2, None),
+    "NUM001": (3, None),
+    "NUM002": (3, None),
+    "NUM003": (2, None),
+}
+
+
+def _fixture(rule_id: str, kind: str) -> str:
+    return (FIXTURES / f"{rule_id.lower()}_{kind}.py").read_text()
+
+
+class TestCatalogCoverage:
+    def test_every_rule_has_expectations_and_fixtures(self):
+        ids = {cls.id for cls in ALL_RULES}
+        assert ids == set(EXPECTED), (
+            "EXPECTED out of sync with the rule registry")
+        for rule_id in ids:
+            for kind in ("bad", "good"):
+                path = FIXTURES / f"{rule_id.lower()}_{kind}.py"
+                assert path.exists(), f"missing fixture {path.name}"
+
+    def test_rule_ids_unique_and_described(self):
+        ids = [cls.id for cls in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        for cls in ALL_RULES:
+            assert cls.id and cls.name and cls.invariant
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED))
+class TestPerRule:
+    def test_bad_fixture_fires(self, rule_id):
+        count, module = EXPECTED[rule_id]
+        findings, _ = lint_source(
+            _fixture(rule_id, "bad"), f"{rule_id.lower()}_bad.py",
+            rules=all_rules(select={rule_id}), module=module)
+        assert [f.rule_id for f in findings] == [rule_id] * count, (
+            f"{rule_id} expected {count} findings, got "
+            f"{[f.location() for f in findings]}")
+        for finding in findings:
+            assert finding.message
+            assert finding.line_text
+
+    def test_good_fixture_quiet_under_all_rules(self, rule_id):
+        _count, module = EXPECTED[rule_id]
+        findings, _ = lint_source(
+            _fixture(rule_id, "good"), f"{rule_id.lower()}_good.py",
+            rules=all_rules(), module=module)
+        assert findings == [], (
+            f"false positives on compliant fixture: "
+            f"{[(f.rule_id, f.location()) for f in findings]}")
+
+
+class TestRuleEdgeCases:
+    """Targeted true/false-positive pins beyond the fixture pairs."""
+
+    def test_rng001_allows_generator_factories(self):
+        source = ("import numpy as np\n"
+                  "rng = np.random.default_rng(7)\n"
+                  "seq = np.random.SeedSequence(7)\n"
+                  "bits = np.random.PCG64(7)\n")
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"RNG001"}))
+        assert findings == []
+
+    def test_rng001_tracks_import_aliases(self):
+        source = ("import numpy.random as nprand\n"
+                  "value = nprand.rand(3)\n")
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"RNG001"}))
+        assert [f.rule_id for f in findings] == ["RNG001"]
+
+    def test_clk001_ignores_local_attribute_chains(self):
+        source = ("class Clock:\n"
+                  "    def time(self):\n"
+                  "        return 0.0\n"
+                  "value = Clock().time()\n"
+                  "def use(clock):\n"
+                  "    return clock.time()\n")
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"CLK001"}))
+        assert findings == []
+
+    def test_exc001_nested_function_raise_does_not_count(self):
+        source = ("def f(work):\n"
+                  "    try:\n"
+                  "        return work()\n"
+                  "    except Exception:\n"
+                  "        def later():\n"
+                  "            raise ValueError('not now')\n"
+                  "        return later\n")
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"EXC001"}))
+        assert [f.rule_id for f in findings] == ["EXC001"]
+
+    def test_exc002_outside_stage_packages_is_quiet(self):
+        findings, _ = lint_source(
+            _fixture("EXC002", "bad"), "exc002_bad.py",
+            rules=all_rules(select={"EXC002"}),
+            module="repro.eval.fixture")
+        assert findings == []
+
+    def test_exc002_scopes_cover_all_stage_packages(self):
+        source = "raise RuntimeError('x')\n"
+        for module in ("repro.core.a", "repro.router.b",
+                       "repro.extraction.c", "repro.simulation.d"):
+            findings, _ = lint_source(
+                source, "x.py", rules=all_rules(select={"EXC002"}),
+                module=module)
+            assert len(findings) == 1, module
+
+    def test_obs001_exempts_obs_package_and_modules(self):
+        findings, _ = lint_source(
+            _fixture("OBS001", "bad"), "obs001_bad.py",
+            rules=all_rules(select={"OBS001"}),
+            module="repro.obs.context")
+        assert findings == []
+        source = ("import numpy as np\n"
+                  "h = np.histogram([1.0], bins='RetryCount')\n")
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"OBS001"}))
+        assert findings == []
+
+    def test_num001_leaves_integer_equality_alone(self):
+        source = "ok = (n == 0) and (m != 3)\n"
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"NUM001"}))
+        assert findings == []
+
+    def test_num003_allows_module_level_lru_cache(self):
+        source = ("from functools import lru_cache\n"
+                  "@lru_cache(maxsize=4)\n"
+                  "def pure(x):\n"
+                  "    return x * x\n")
+        findings, _ = lint_source(source, "x.py",
+                                  rules=all_rules(select={"NUM003"}))
+        assert findings == []

@@ -21,7 +21,8 @@ class TestPublicApi:
         "repro.tech", "repro.netlist", "repro.placement", "repro.router",
         "repro.extraction", "repro.simulation", "repro.graph", "repro.nn",
         "repro.model", "repro.core", "repro.baselines", "repro.eval",
-        "repro.io", "repro.cli",
+        "repro.io", "repro.cli", "repro.reliability", "repro.perf",
+        "repro.obs", "repro.lint",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)
