@@ -113,6 +113,12 @@ def main(argv: list[str] | None = None) -> int:
 
     payload = measure(args.scale, workers=args.workers)
 
+    # The serve-throughput record (benchmarks/bench_serve.py) shares this
+    # file; carry its section over instead of dropping it on rewrite.
+    existing = load_bench_json(args.out)
+    if existing is not None and "serve" in existing:
+        payload["serve"] = existing["serve"]
+
     problems: list[str] = []
     if args.check:
         baseline = load_bench_json(args.baseline)

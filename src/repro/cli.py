@@ -8,13 +8,19 @@ Usage::
     python -m repro.cli fold OTA2 --samples 40 --epochs 20
     python -m repro.cli compare OTA1 --variant A --scale fast
     python -m repro.cli export-spice OTA3 --out ota3.sp
+    python -m repro.cli serve-save OTA1 --registry reg --name ota1
+    python -m repro.cli serve-score OTA1 --registry reg --model ota1 \
+        --random 8 --out scores.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+
+import numpy as np
 
 from repro import (
     AnalogFold,
@@ -24,9 +30,18 @@ from repro import (
     RoutingGrid,
     build_benchmark,
     extract,
+    generate_dataset,
     generic_40nm,
     place_benchmark,
     simulate_performance,
+)
+from repro.graph import build_hetero_graph
+from repro.serve import (
+    DEFAULT_FORWARD_BLOCK,
+    ModelRegistry,
+    ScoreRequest,
+    ScoringService,
+    ServeConfig,
 )
 from repro.core import RelaxationConfig
 from repro.eval import SCALES, evaluate_cell, format_table1, format_table2
@@ -41,7 +56,7 @@ from repro.io import (
     save_placement,
 )
 from repro.io.spice import write_spice
-from repro.model import Gnn3dConfig, TrainConfig
+from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -166,6 +181,109 @@ def _cmd_fold(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_save(args: argparse.Namespace) -> int:
+    circuit, placement = _load_or_place(args)
+    tech = generic_40nm()
+    name = args.name or args.circuit.lower()
+    registry = ModelRegistry(args.registry)
+    if args.samples:
+        database = generate_dataset(
+            circuit, placement, tech,
+            DatasetConfig(num_samples=args.samples, seed=args.seed))
+        graph = database.graph
+        model = Gnn3d(graph.ap_features.shape[1],
+                      graph.module_features.shape[1],
+                      Gnn3dConfig(seed=args.seed))
+        Trainer(model, graph,
+                TrainConfig(epochs=args.epochs, seed=args.seed)
+                ).fit(database.train_samples())
+    else:
+        graph = build_hetero_graph(RoutingGrid(placement, tech))
+        model = Gnn3d(graph.ap_features.shape[1],
+                      graph.module_features.shape[1],
+                      Gnn3dConfig(seed=args.seed))
+    manifest = registry.save(name, model, graph)
+    print(f"saved {manifest.name}@{manifest.version} to {args.registry} "
+          f"(fingerprint {manifest.graph_fingerprint[-1][:12]}, "
+          f"{'trained' if args.samples else 'seed-initialized'})")
+    return 0
+
+
+def _serve_requests(args: argparse.Namespace, graph_id: str, num_aps: int,
+                    c_max: float):
+    """The request stream for serve-score: a JSONL file or random draws."""
+    if args.in_path:
+        from pathlib import Path
+
+        with Path(args.in_path).open(encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                yield ScoreRequest(graph_id,
+                                   np.asarray(record["guidance"], dtype=float),
+                                   request_id=record.get("id"))
+    else:
+        rng = np.random.default_rng(args.seed)
+        margin = min(0.2, c_max / 4.0)
+        for index in range(args.random):
+            yield ScoreRequest(
+                graph_id,
+                rng.uniform(margin, c_max - margin, size=(num_aps, 3)),
+                request_id=f"rand-{index}")
+
+
+def _cmd_serve_score(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.reliability import ServeError
+
+    if not args.in_path and not args.random:
+        raise ValueError("serve-score needs --in PATH or --random N")
+    _circuit, placement = _load_or_place(args)
+    graph = build_hetero_graph(RoutingGrid(placement, generic_40nm()))
+    name, _, version = args.model.partition("@")
+    service = ScoringService(
+        ServeConfig(max_batch=args.max_batch, max_queue=args.max_queue,
+                    forward_block=args.forward_block))
+    manifest = service.register_checkpoint(
+        name, ModelRegistry(args.registry), name, graph,
+        version=version or None)
+    out = (Path(args.out).open("w", encoding="utf-8") if args.out
+           else sys.stdout)
+    rejected = 0
+    try:
+        for request in _serve_requests(args, name, graph.num_aps,
+                                       manifest.c_max):
+            try:
+                service.submit(request)
+            except ServeError as exc:
+                rejected += 1
+                out.write(json.dumps(
+                    {"id": request.request_id, "graph_id": name,
+                     "status": "rejected", "error": str(exc)},
+                    sort_keys=True) + "\n")
+                continue
+            if service.queue_depth >= args.max_batch:
+                for result in service.flush():
+                    out.write(json.dumps(result.to_dict(),
+                                         sort_keys=True) + "\n")
+        for result in service.flush():
+            out.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+    finally:
+        if args.out:
+            out.close()
+    stats = service.stats
+    print(f"scored with {manifest.name}@{manifest.version}: "
+          f"ok={stats.ok} failed={stats.failed} rejected={rejected} "
+          f"batches={stats.batches} (max_batch={args.max_batch})",
+          file=sys.stderr if not args.out else sys.stdout)
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0 if stats.failed == 0 and rejected == 0 else 1
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     cell = evaluate_cell(args.circuit, args.variant, scale=args.scale,
                          seed=args.seed)
@@ -236,6 +354,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the per-stage breakdown table and "
                              "counters after the run")
     p_fold.set_defaults(func=_cmd_fold)
+
+    p_ssave = sub.add_parser(
+        "serve-save", help="snapshot a scoring model into a model registry")
+    _add_common(p_ssave)
+    p_ssave.add_argument("--placement", help="placement JSON to load")
+    p_ssave.add_argument("--registry", required=True, metavar="DIR",
+                         help="model-registry root directory")
+    p_ssave.add_argument("--name",
+                         help="model name (default: circuit, lowercased)")
+    p_ssave.add_argument("--samples", type=int, default=0,
+                         help="construct a database of this many samples "
+                              "and train before saving (0 = save the "
+                              "seed-initialized model)")
+    p_ssave.add_argument("--epochs", type=int, default=20,
+                         help="training epochs when --samples > 0")
+    p_ssave.set_defaults(func=_cmd_serve_save)
+
+    p_score = sub.add_parser(
+        "serve-score",
+        help="batch-score guidance candidates through a registry checkpoint")
+    _add_common(p_score)
+    p_score.add_argument("--placement", help="placement JSON to load")
+    p_score.add_argument("--registry", required=True, metavar="DIR")
+    p_score.add_argument("--model", required=True, metavar="NAME[@VERSION]",
+                         help="registry model to serve (latest version "
+                              "when omitted)")
+    p_score.add_argument("--in", dest="in_path", metavar="PATH",
+                         help="request JSONL, one "
+                              '{"id": ..., "guidance": [[h,w,z] per AP]} '
+                              "per line")
+    p_score.add_argument("--random", type=int, default=0, metavar="N",
+                         help="score N random feasible candidates instead "
+                              "of reading --in")
+    p_score.add_argument("--out", metavar="PATH",
+                         help="write result JSONL here (default: stdout)")
+    p_score.add_argument("--max-batch", type=int, default=8,
+                         help="candidates coalesced per scoring wave")
+    p_score.add_argument("--max-queue", type=int, default=64,
+                         help="admission bound on pending requests")
+    p_score.add_argument("--forward-block", type=int,
+                         default=DEFAULT_FORWARD_BLOCK,
+                         help="candidates per union forward inside a wave")
+    p_score.set_defaults(func=_cmd_serve_score)
 
     p_cmp = sub.add_parser("compare", help="Table 2 row for one cell")
     _add_common(p_cmp)

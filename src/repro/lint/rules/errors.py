@@ -29,12 +29,12 @@ from repro.lint.rules.base import (
 #: Packages whose raises must stay inside the taxonomy (stage code the
 #: degradation policy supervises).
 STAGE_PACKAGES = ("repro.core", "repro.router",
-                  "repro.extraction", "repro.simulation")
+                  "repro.extraction", "repro.simulation", "repro.serve")
 
 #: The ReproError taxonomy (see repro/reliability/errors.py).
 TAXONOMY = frozenset({
     "ReproError", "RoutingError", "ExtractionError", "SimulationError",
-    "RelaxationError", "DataQualityError", "CheckpointError",
+    "RelaxationError", "DataQualityError", "CheckpointError", "ServeError",
 })
 
 #: Builtin exceptions signalling caller contract violations — allowed

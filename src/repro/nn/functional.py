@@ -53,8 +53,18 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     if len(ids) and (ids.min() < 0 or ids.max() >= num_segments):
         raise ValueError("segment id out of range")
     out_shape = (num_segments,) + values.shape[1:]
-    out_data = np.zeros(out_shape)
-    np.add.at(out_data, ids, values.data)
+    if values.data.ndim == 2 and len(ids):
+        # Column-wise bincount beats the unbuffered np.add.at scatter by
+        # >2x on GNN-message shapes and accumulates in the same sequential
+        # index order, so the result is bit-identical.
+        cols = np.ascontiguousarray(values.data.T)
+        out_t = np.empty((values.shape[1], num_segments))
+        for j in range(out_t.shape[0]):
+            out_t[j] = np.bincount(ids, weights=cols[j], minlength=num_segments)
+        out_data = np.ascontiguousarray(out_t.T)
+    else:
+        out_data = np.zeros(out_shape)
+        np.add.at(out_data, ids, values.data)
 
     def backward(grad: np.ndarray) -> None:
         values._accumulate(grad[ids])

@@ -81,10 +81,9 @@ class Linear(Module):
         self.out_features = out_features
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        if self.bias is None:
+            return x @ self.weight
+        return x.affine(self.weight, self.bias)
 
 
 _ACTIVATIONS = {

@@ -22,21 +22,29 @@ def load_state(module: Module, path: str | Path) -> None:
     shapes) as the one that was saved.
     """
     p = Path(path)
-    if not p.exists() and not str(p).endswith(".npz"):
-        p = Path(f"{p}.npz")  # np.savez_compressed appends .npz on save
-    archive = np.load(p)
-    named = dict(module.named_parameters())
-    missing = set(named) - set(archive.files)
-    extra = set(archive.files) - set(named)
-    if missing or extra:
-        raise ValueError(
-            f"parameter mismatch: missing {sorted(missing)}, extra {sorted(extra)}"
-        )
-    for name, param in named.items():
-        data = archive[name]
-        if data.shape != param.data.shape:
+    if not p.exists():
+        # np.savez_compressed appends .npz on save, so a bare stem is a
+        # legitimate alias — but only when the .npz actually exists.
+        fallback = None if str(p).endswith(".npz") else Path(f"{p}.npz")
+        if fallback is not None and fallback.exists():
+            p = fallback
+        else:
+            tried = str(p) if fallback is None else f"{p} (or {fallback})"
+            raise FileNotFoundError(f"no saved module state at {tried}")
+    with np.load(p) as archive:
+        named = dict(module.named_parameters())
+        missing = set(named) - set(archive.files)
+        extra = set(archive.files) - set(named)
+        if missing or extra:
             raise ValueError(
-                f"shape mismatch for {name}: saved {data.shape}, "
-                f"module {param.data.shape}"
+                f"parameter mismatch: missing {sorted(missing)}, "
+                f"extra {sorted(extra)}"
             )
-        param.data = data.astype(np.float64)
+        for name, param in named.items():
+            data = archive[name]
+            if data.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: saved {data.shape}, "
+                    f"module {param.data.shape}"
+                )
+            param.data = data.astype(np.float64)

@@ -221,6 +221,31 @@ class Tensor:
 
         return Tensor(out_data, parents=(self, other), backward=backward)
 
+    def affine(self, weight: "Tensor", bias: "Tensor") -> "Tensor":
+        """Fused ``self @ weight + bias``: one temporary and one tape node.
+
+        Bit-identical to the two-op chain (the bias add runs in place on
+        the fresh matmul output) but skips an intermediate allocation and
+        backward closure — the hot path of every Linear layer.
+        """
+        weight, bias = as_tensor(weight), as_tensor(bias)
+        a, w = self.data, weight.data
+        if a.ndim > 2 or w.ndim != 2:
+            raise ValueError("affine supports 1-D/2-D input and 2-D weight")
+        out_data = a @ w
+        out_data += bias.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad @ w.T if a.ndim == 2 else w @ grad)
+            if weight.requires_grad:
+                weight._accumulate(a.T @ grad if a.ndim == 2
+                                   else np.outer(a, grad))
+            if bias.requires_grad:
+                bias._accumulate(_unbroadcast(grad, bias.shape))
+
+        return Tensor(out_data, parents=(self, weight, bias), backward=backward)
+
     # -- reductions -----------------------------------------------------------------------
 
     def sum(self, axis: int | tuple[int, ...] | None = None,

@@ -17,6 +17,7 @@ from repro.perf.cache import (
     GraphStatics,
     build_batched,
     build_statics,
+    graph_fingerprint,
 )
 from repro.perf.timing import (
     BENCH_SCHEMA_VERSION,
@@ -43,6 +44,7 @@ __all__ = [
     "GraphStatics",
     "build_batched",
     "build_statics",
+    "graph_fingerprint",
     "ParallelConfig",
     "SamplePool",
 ]

@@ -19,12 +19,14 @@ evaluation; everything in that pass that does not depend on the guidance
 
 Caches are keyed on the *live* graph object (weak reference, so entries
 die with their graph and a recycled ``id()`` can never alias) and
-validated against a structural fingerprint (node and edge counts), so
-replacing a graph's edge arrays invalidates its entry.
+validated against a content fingerprint — node/edge counts **plus** a
+digest of the position and edge arrays — so both replacing a graph's
+edge arrays and mutating its geometry in place invalidate its entry.
 """
 
 from __future__ import annotations
 
+import hashlib
 import weakref
 from dataclasses import dataclass, field
 
@@ -33,8 +35,30 @@ import numpy as np
 from repro.graph.hetero import EdgeType, HeteroGraph
 
 
-def _fingerprint(graph: HeteroGraph) -> tuple[int, int, int]:
-    return (graph.num_aps, graph.num_modules, graph.num_edges())
+def graph_fingerprint(graph: HeteroGraph) -> tuple[int, int, int, str]:
+    """Content fingerprint of everything :func:`build_statics` reads.
+
+    Counts alone are not enough: mutating ``ap_positions`` in place (or
+    swapping an edge array for one of equal length) changes the Eq. 1
+    deltas without changing any count, and a count-only fingerprint
+    would keep serving stale statics.  The digest covers positions and
+    edge arrays byte-for-byte; features are deliberately excluded (the
+    statics never read them — they are tiled verbatim, never derived).
+
+    Also the identity the serving layer pins a checkpoint to: a
+    :class:`repro.serve.registry.ModelRegistry` manifest records it at
+    save time and refuses to score a graph whose fingerprint drifted.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.ascontiguousarray(graph.ap_positions).tobytes())
+    digest.update(np.ascontiguousarray(graph.module_positions).tobytes())
+    for edge_type in EdgeType:
+        pairs = graph.edges.get(edge_type)
+        digest.update(edge_type.value.encode())
+        if pairs is not None and len(pairs):
+            digest.update(np.ascontiguousarray(pairs).tobytes())
+    return (graph.num_aps, graph.num_modules, graph.num_edges(),
+            digest.hexdigest())
 
 
 @dataclass
@@ -168,7 +192,7 @@ class _Entry:
 
     def __init__(self, graph: HeteroGraph) -> None:
         self.ref = weakref.ref(graph)
-        self.fingerprint = _fingerprint(graph)
+        self.fingerprint = graph_fingerprint(graph)
         self.statics: GraphStatics | None = None
         self.batched: dict[int, BatchedStatics] = {}
 
@@ -178,7 +202,10 @@ class ForwardCacheStore:
 
     A model is typically used with one graph (plus occasionally a
     validation graph), so the store keeps at most ``max_graphs`` live
-    entries and evicts wholesale beyond that.
+    entries, evicted in LRU order: a hit refreshes the entry's recency,
+    and capacity evicts only the stalest entries — never the entry being
+    fetched, and never the whole store at once (wholesale clearing made
+    alternation across ``max_graphs + 1`` graphs rebuild everything).
     """
 
     def __init__(self, max_graphs: int = 4) -> None:
@@ -189,13 +216,18 @@ class ForwardCacheStore:
         key = id(graph)
         entry = self._entries.get(key)
         if (entry is not None and entry.ref() is graph
-                and entry.fingerprint == _fingerprint(graph)):
+                and entry.fingerprint == graph_fingerprint(graph)):
+            # Refresh LRU recency (dicts preserve insertion order).
+            self._entries.pop(key)
+            self._entries[key] = entry
             return entry
-        self._entries = {
-            k: e for k, e in self._entries.items() if e.ref() is not None
-        }
-        if len(self._entries) >= self.max_graphs:
-            self._entries.clear()
+        if entry is not None:  # dead ref or stale fingerprint: replace
+            del self._entries[key]
+        for dead in [k for k, e in self._entries.items()
+                     if e.ref() is None]:
+            del self._entries[dead]
+        while len(self._entries) >= self.max_graphs:
+            del self._entries[next(iter(self._entries))]
         entry = _Entry(graph)
         self._entries[key] = entry
         return entry

@@ -25,6 +25,7 @@ from repro.reliability.errors import (
     RelaxationError,
     ReproError,
     RoutingError,
+    ServeError,
     SimulationError,
     error_for_stage,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "RelaxationError",
     "DataQualityError",
     "CheckpointError",
+    "ServeError",
     "error_for_stage",
     "RetryPolicy",
     "retry",

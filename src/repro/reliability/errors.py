@@ -120,12 +120,19 @@ class CheckpointError(ReproError):
     """A checkpoint file is unreadable or belongs to a different run."""
 
 
+class ServeError(ReproError):
+    """A scoring-service failure: rejected admission (queue full), a
+    model-registry artifact that fails integrity checks, or a request
+    that cannot be scored."""
+
+
 #: Stage name -> error type raised when a fault is injected at that stage.
 STAGE_ERRORS: dict[str, type[ReproError]] = {
     "routing": RoutingError,
     "extraction": ExtractionError,
     "simulation": SimulationError,
     "relaxation": RelaxationError,
+    "serve": ServeError,
 }
 
 

@@ -1,0 +1,44 @@
+"""Inference front-end: serve a trained ``f_theta`` as a scoring oracle.
+
+The relaxation loop evaluates guidance candidates through block-diagonal
+union forwards; this package turns that capability into a persistent
+service (see ``docs/SERVING.md``):
+
+* :class:`ModelRegistry` — versioned on-disk checkpoints (weights +
+  graph fingerprint + normalization stats + config manifest) with
+  end-to-end integrity checks on load;
+* :class:`ScoringService` — synchronous API over internally
+  micro-batched forwards, with bounded-queue admission control,
+  degradation to unbatched forwards on mid-flight cache invalidation,
+  and ``serve_*`` metrics through :mod:`repro.obs`.
+"""
+
+from repro.reliability.errors import ServeError
+from repro.serve.registry import (
+    ModelManifest,
+    ModelRegistry,
+    NORMALIZATION_SCHEME,
+    REGISTRY_SCHEMA_VERSION,
+)
+from repro.serve.service import (
+    DEFAULT_FORWARD_BLOCK,
+    ScoreRequest,
+    ScoreResult,
+    ScoringService,
+    ServeConfig,
+    ServiceStats,
+)
+
+__all__ = [
+    "DEFAULT_FORWARD_BLOCK",
+    "ModelManifest",
+    "ModelRegistry",
+    "NORMALIZATION_SCHEME",
+    "REGISTRY_SCHEMA_VERSION",
+    "ScoreRequest",
+    "ScoreResult",
+    "ScoringService",
+    "ServeConfig",
+    "ServeError",
+    "ServiceStats",
+]

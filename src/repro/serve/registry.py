@@ -1,0 +1,265 @@
+"""Versioned model-artifact registry for the scoring service.
+
+A trained ``f_theta`` is only servable if everything that shaped its
+predictions travels with the weights: the graph it was fitted on (pinned
+by the :func:`repro.perf.cache.graph_fingerprint` content digest), the
+metric-normalization scheme the targets used, the FoM weighting and
+feasible-region bound scoring applies, and the exact
+:class:`~repro.model.gnn3d.Gnn3dConfig`.  The registry persists all of
+it per version::
+
+    <root>/<name>/v0001/weights.npz     # repro.nn.serialization archive
+    <root>/<name>/v0001/manifest.json   # ModelManifest
+
+Loads are integrity-checked end to end — manifest schema version, a
+SHA-256 digest of the weights archive, parameter-name/shape agreement
+(via :func:`repro.nn.serialization.load_state`), normalization-scheme
+identity, and (when a serving graph is supplied) graph-fingerprint
+equality.  Every violation raises a typed
+:class:`~repro.reliability.errors.ServeError` so callers can tell a
+corrupt artifact from an unroutable request.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.graph.hetero import HeteroGraph
+from repro.model.gnn3d import Gnn3d, Gnn3dConfig
+from repro.nn.serialization import load_state, save_state
+from repro.perf.cache import graph_fingerprint
+from repro.reliability.errors import ServeError
+from repro.simulation.metrics import METRIC_NAMES, FoMWeights
+
+#: Schema version of registry manifests; bump on incompatible changes.
+REGISTRY_SCHEMA_VERSION = 1
+
+#: Identity of the target-normalization transform the model was trained
+#: on (:meth:`repro.simulation.metrics.PerformanceMetrics.to_normalized`).
+#: A served model whose manifest names a different scheme must not be
+#: scored — its outputs would be denormalized with the wrong inverse.
+NORMALIZATION_SCHEME = "performance-metrics.to_normalized.v1"
+
+_WEIGHTS_FILE = "weights.npz"
+_MANIFEST_FILE = "manifest.json"
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelManifest:
+    """Everything needed to rebuild and trust one checkpoint.
+
+    Attributes:
+        name: registry model name.
+        version: registry version string (``v0001`` ...).
+        weights_sha256: SHA-256 of the weights archive at save time.
+        graph_fingerprint: content fingerprint of the training graph
+            (see :func:`repro.perf.cache.graph_fingerprint`).
+        ap_dim / module_dim: feature widths the model was built with.
+        gnn_config: :class:`Gnn3dConfig` fields as a plain dict.
+        c_max: guidance feasible-region bound the database sampled in.
+        fom_weights: raw (unsigned) FoM weights, metric order.
+        metric_names: metric reporting order at training time.
+        normalization: target-normalization scheme identifier.
+    """
+
+    name: str
+    version: str
+    weights_sha256: str
+    graph_fingerprint: tuple
+    ap_dim: int
+    module_dim: int
+    gnn_config: dict
+    c_max: float
+    fom_weights: tuple
+    metric_names: tuple
+    normalization: str = NORMALIZATION_SCHEME
+    schema_version: int = REGISTRY_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["graph_fingerprint"] = list(self.graph_fingerprint)
+        out["fom_weights"] = list(self.fom_weights)
+        out["metric_names"] = list(self.metric_names)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModelManifest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ServeError(
+                f"manifest carries unknown fields {sorted(unknown)}",
+                stage="serve")
+        missing = fields - set(data)
+        if missing:
+            raise ServeError(
+                f"manifest is missing fields {sorted(missing)}",
+                stage="serve")
+        data = dict(data)
+        data["graph_fingerprint"] = tuple(data["graph_fingerprint"])
+        data["fom_weights"] = tuple(data["fom_weights"])
+        data["metric_names"] = tuple(data["metric_names"])
+        return cls(**data)
+
+    def signed_fom_vector(self):
+        """The signed ``w_FoM`` vector scoring applies to predictions."""
+        return FoMWeights(*self.fom_weights).as_signed_vector()
+
+
+class ModelRegistry:
+    """Filesystem-backed store of versioned scoring checkpoints."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- layout -------------------------------------------------------------------
+
+    def _version_dir(self, name: str, version: str) -> Path:
+        return self.root / name / version
+
+    def versions(self, name: str) -> list[str]:
+        """Existing versions of a model, oldest first; [] when unknown."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        return sorted(p.name for p in model_dir.iterdir()
+                      if p.is_dir() and (p / _MANIFEST_FILE).exists())
+
+    def latest(self, name: str) -> str:
+        versions = self.versions(name)
+        if not versions:
+            raise ServeError(
+                f"no versions of model {name!r} in registry {self.root}",
+                stage="serve", details={"name": name})
+        return versions[-1]
+
+    # -- save ---------------------------------------------------------------------
+
+    def save(
+        self,
+        name: str,
+        model: Gnn3d,
+        graph: HeteroGraph,
+        c_max: float = 4.0,
+        weights: FoMWeights | None = None,
+    ) -> ModelManifest:
+        """Persist a new version of ``model`` pinned to ``graph``."""
+        existing = self.versions(name)
+        ordinal = (int(existing[-1][1:]) + 1) if existing else 1
+        version = f"v{ordinal:04d}"
+        target = self._version_dir(name, version)
+        target.mkdir(parents=True)
+        weights_path = target / _WEIGHTS_FILE
+        save_state(model, weights_path)
+        fom = weights or FoMWeights()
+        manifest = ModelManifest(
+            name=name,
+            version=version,
+            weights_sha256=_sha256(weights_path),
+            graph_fingerprint=graph_fingerprint(graph),
+            ap_dim=graph.ap_features.shape[1],
+            module_dim=graph.module_features.shape[1],
+            gnn_config=dataclasses.asdict(model.config),
+            c_max=c_max,
+            fom_weights=tuple(
+                getattr(fom, f.name) for f in dataclasses.fields(fom)),
+            metric_names=tuple(METRIC_NAMES),
+        )
+        (target / _MANIFEST_FILE).write_text(
+            json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        return manifest
+
+    # -- load ---------------------------------------------------------------------
+
+    def load_manifest(self, name: str,
+                      version: str | None = None) -> ModelManifest:
+        """Read and schema-check one version's manifest."""
+        version = version or self.latest(name)
+        path = self._version_dir(name, version) / _MANIFEST_FILE
+        if not path.exists():
+            raise ServeError(
+                f"no manifest for {name}@{version} in registry {self.root}",
+                stage="serve", details={"name": name, "version": version})
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ServeError(
+                f"unreadable manifest {path}: {exc}", stage="serve",
+            ) from exc
+        manifest = ModelManifest.from_dict(data)
+        if manifest.schema_version != REGISTRY_SCHEMA_VERSION:
+            raise ServeError(
+                f"manifest schema {manifest.schema_version} != supported "
+                f"{REGISTRY_SCHEMA_VERSION}", stage="serve")
+        if manifest.normalization != NORMALIZATION_SCHEME:
+            raise ServeError(
+                f"checkpoint normalization {manifest.normalization!r} != "
+                f"serving scheme {NORMALIZATION_SCHEME!r} — predictions "
+                "would be denormalized with the wrong inverse",
+                stage="serve")
+        return manifest
+
+    def load(
+        self,
+        name: str,
+        version: str | None = None,
+        graph: HeteroGraph | None = None,
+    ) -> tuple[Gnn3d, ModelManifest]:
+        """Rebuild a checkpointed model, verifying artifact integrity.
+
+        With ``graph`` given, the serving graph's content fingerprint
+        must equal the manifest's — the checkpoint is only valid for the
+        exact geometry it was trained against.
+        """
+        manifest = self.load_manifest(name, version)
+        weights_path = (self._version_dir(manifest.name, manifest.version)
+                        / _WEIGHTS_FILE)
+        if not weights_path.exists():
+            raise ServeError(
+                f"weights archive missing at {weights_path}", stage="serve")
+        actual_sha = _sha256(weights_path)
+        if actual_sha != manifest.weights_sha256:
+            raise ServeError(
+                f"weights digest mismatch for {name}@{manifest.version}: "
+                f"manifest {manifest.weights_sha256[:12]}…, file "
+                f"{actual_sha[:12]}… — artifact corrupted or overwritten",
+                stage="serve")
+        model = Gnn3d(manifest.ap_dim, manifest.module_dim,
+                      Gnn3dConfig(**manifest.gnn_config))
+        try:
+            load_state(model, weights_path)
+        except ValueError as exc:
+            raise ServeError(
+                f"weights archive for {name}@{manifest.version} does not "
+                f"fit the manifest's architecture: {exc}",
+                stage="serve") from exc
+        if graph is not None:
+            self.verify_graph(manifest, graph)
+        return model, manifest
+
+    @staticmethod
+    def verify_graph(manifest: ModelManifest, graph: HeteroGraph) -> None:
+        """Raise unless ``graph`` matches the checkpoint's fingerprint."""
+        current = graph_fingerprint(graph)
+        if tuple(current) != tuple(manifest.graph_fingerprint):
+            raise ServeError(
+                f"serving graph fingerprint {current} != checkpoint's "
+                f"{tuple(manifest.graph_fingerprint)} — the model "
+                f"{manifest.name}@{manifest.version} was trained on "
+                "different geometry",
+                stage="serve",
+                details={"expected": list(manifest.graph_fingerprint),
+                         "actual": list(current)})

@@ -198,3 +198,48 @@ class TestSerialization:
         other = MLP([3, 5, 5, 2], rng)
         with pytest.raises(ValueError):
             load_state(other, path)
+
+    def test_load_closes_archive(self, rng, tmp_path, monkeypatch):
+        """Regression: load_state used to leak the NpzFile handle."""
+        mlp = MLP([3, 5, 2], rng)
+        path = tmp_path / "weights.npz"
+        save_state(mlp, path)
+        opened = []
+        real_load = np.load
+
+        def spying_load(*args, **kwargs):
+            archive = real_load(*args, **kwargs)
+            opened.append(archive)
+            return archive
+
+        monkeypatch.setattr(np, "load", spying_load)
+        load_state(MLP([3, 5, 2], rng), path)
+        assert len(opened) == 1
+        assert opened[0].zip is None  # NpzFile.close() drops the zip
+
+    def test_missing_file_names_both_paths(self, rng, tmp_path):
+        """Regression: the .npz fallback used to mask missing files."""
+        target = tmp_path / "absent"
+        with pytest.raises(FileNotFoundError) as exc_info:
+            load_state(MLP([3, 5, 2], rng), target)
+        message = str(exc_info.value)
+        assert str(target) in message
+        assert f"{target}.npz" in message
+
+    def test_missing_npz_path_names_only_itself(self, rng, tmp_path):
+        target = tmp_path / "absent.npz"
+        with pytest.raises(FileNotFoundError) as exc_info:
+            load_state(MLP([3, 5, 2], rng), target)
+        message = str(exc_info.value)
+        assert str(target) in message
+        assert "(or" not in message  # no pointless double-suffix fallback
+
+    def test_suffix_fallback_still_loads(self, rng, tmp_path):
+        mlp = MLP([3, 5, 2], rng)
+        stem = tmp_path / "weights"
+        save_state(mlp, stem)  # np.savez appends .npz
+        assert not stem.exists() and stem.with_suffix(".npz").exists()
+        clone = MLP([3, 5, 2], np.random.default_rng(7))
+        load_state(clone, stem)
+        x = Tensor(np.ones((2, 3)))
+        np.testing.assert_allclose(mlp(x).data, clone(x).data)

@@ -119,6 +119,48 @@ class TestMatmulGrads:
             Tensor(np.zeros((2, 2, 2))) @ Tensor(np.zeros((2, 2)))
 
 
+class TestAffine:
+    """The fused ``x @ W + b`` op must be bit-identical to the chain."""
+
+    def test_matches_chain_bitwise_2d(self):
+        rng = np.random.default_rng(7)
+        x0, w0, b0 = (rng.normal(size=(5, 4)), rng.normal(size=(4, 3)),
+                      rng.normal(size=3))
+        fused = Tensor(x0).affine(Tensor(w0), Tensor(b0))
+        chain = Tensor(x0) @ Tensor(w0) + Tensor(b0)
+        assert np.array_equal(fused.data, chain.data)
+
+    def test_matches_chain_bitwise_1d(self):
+        rng = np.random.default_rng(8)
+        x0, w0, b0 = (rng.normal(size=4), rng.normal(size=(4, 3)),
+                      rng.normal(size=3))
+        fused = Tensor(x0).affine(Tensor(w0), Tensor(b0))
+        chain = Tensor(x0) @ Tensor(w0) + Tensor(b0)
+        assert np.array_equal(fused.data, chain.data)
+
+    def test_grads_match_chain(self):
+        rng = np.random.default_rng(9)
+        x0, w0, b0 = (rng.normal(size=(5, 4)), rng.normal(size=(4, 3)),
+                      rng.normal(size=3))
+
+        def run(op):
+            x = Tensor(x0, requires_grad=True)
+            w = Tensor(w0, requires_grad=True)
+            b = Tensor(b0, requires_grad=True)
+            (op(x, w, b) * op(x, w, b)).sum().backward()
+            return x.grad, w.grad, b.grad
+
+        fused = run(lambda x, w, b: x.affine(w, b))
+        chain = run(lambda x, w, b: x @ w + b)
+        for got, want in zip(fused, chain):
+            assert np.array_equal(got, want)
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2, 2))).affine(
+                Tensor(np.zeros((2, 2))), Tensor(np.zeros(2)))
+
+
 class TestReductionsAndShapes:
     def test_sum_axis_grad(self):
         x0 = np.random.default_rng(7).normal(size=(3, 4))

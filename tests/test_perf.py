@@ -180,6 +180,59 @@ class TestBatchedForward:
         finally:
             graph.edges[et] = pairs
 
+    def test_inplace_position_mutation_invalidates(self, ota1_placement,
+                                                   tech):
+        """Regression: a count-only fingerprint served stale Eq.1 deltas
+        after ``ap_positions`` was mutated in place."""
+        graph = build_hetero_graph(RoutingGrid(ota1_placement, tech))
+        store = ForwardCacheStore()
+        statics = store.statics(graph)
+        graph.ap_positions[0, 0] += 3.0
+        fresh = store.statics(graph)
+        assert fresh is not statics
+        et = next(t for t, p in graph.edges.items() if len(p))
+        assert not np.array_equal(fresh.deltas[et], statics.deltas[et])
+
+    def test_equal_length_edge_swap_invalidates(self, ota1_placement, tech):
+        """Regression: swapping an edge array for one of equal length
+        kept every count identical and the cache never noticed."""
+        graph = build_hetero_graph(RoutingGrid(ota1_placement, tech))
+        store = ForwardCacheStore()
+        statics = store.statics(graph)
+        et = next(t for t, p in graph.edges.items() if len(p) > 1)
+        original = graph.edges[et]
+        graph.edges[et] = np.ascontiguousarray(original[::-1])
+        try:
+            assert store.statics(graph) is not statics
+        finally:
+            graph.edges[et] = original
+
+    def test_eviction_never_thrashes_hot_entries(self, ota1_placement,
+                                                 tech, monkeypatch):
+        """Regression: capacity used to clear() the whole store, so
+        alternating across ``max_graphs + 1`` graphs rebuilt everything.
+        LRU must evict only the stalest entry."""
+        import repro.perf.cache as cache_mod
+        grid = RoutingGrid(ota1_placement, tech)
+        g1, g2, g3 = (build_hetero_graph(grid) for _ in range(3))
+        builds = []
+        real_build = cache_mod.build_statics
+        monkeypatch.setattr(
+            cache_mod, "build_statics",
+            lambda graph: builds.append(id(graph)) or real_build(graph))
+        store = ForwardCacheStore(max_graphs=2)
+        store.statics(g1)
+        store.statics(g2)
+        store.statics(g2)          # hit refreshes recency
+        assert len(builds) == 2
+        store.statics(g3)          # at capacity: evicts g1 only (stalest)
+        assert len(builds) == 3
+        store.statics(g3)
+        store.statics(g2)          # still cached — was NOT wholesale-evicted
+        assert len(builds) == 3
+        store.statics(g1)          # g1 was the one evicted
+        assert len(builds) == 4
+
 
 class TestBatchedRelaxation:
     RELAX = dict(n_restarts=8, pool_size=4, n_derive=2, maxiter=12,

@@ -22,7 +22,7 @@ class TestPublicApi:
         "repro.extraction", "repro.simulation", "repro.graph", "repro.nn",
         "repro.model", "repro.core", "repro.baselines", "repro.eval",
         "repro.io", "repro.cli", "repro.reliability", "repro.perf",
-        "repro.obs", "repro.lint",
+        "repro.obs", "repro.lint", "repro.serve",
     ])
     def test_subpackage_all_resolves(self, module):
         mod = importlib.import_module(module)
