@@ -1,0 +1,312 @@
+"""Serving chaos harness: availability under injected failure.
+
+Drives a real :class:`repro.serve.ServeCluster` (worker processes,
+pipes, SIGKILLs — nothing simulated) through a deterministic fault
+schedule while an open-loop load generator submits guidance-scoring
+requests:
+
+* **worker kills** — SIGKILL at fixed request ordinals; the supervisor
+  restarts the slot with backoff and the dispatcher re-dispatches the
+  stranded in-flight work, so killed requests still come back ``ok``;
+* **slow-forward stall** — a ``serve_stall`` fault wedges one request's
+  forward far past its deadline; the request times out, the hung worker
+  is detected and killed, the pool keeps serving;
+* **checkpoint corruption** — a new registry version is tampered with
+  on disk, then rolled over to; the cluster must quarantine it, roll
+  back, and keep serving the prior version (a later clean rollover must
+  succeed mid-load, zero-downtime);
+* **queue flood** — a submission burst far beyond ``max_queue``; the
+  cluster sheds earliest-deadline-first instead of failing closed.
+
+The run writes a ``chaos`` section into ``BENCH_perf.json`` (the other
+sections are preserved) with availability, error-budget use, latency
+percentiles, recovery times, and loss accounting.  ``--check`` gates:
+
+* availability = ok / (ok + failed + timeout) >= 99%;
+* zero lost acknowledged requests: every ack reaches exactly one
+  terminal outcome (``ok + failed + timeout + shed + rejected ==
+  submitted``);
+* the corrupt rollover quarantined, the clean rollover served, and
+  every kill has a recorded recovery time.
+
+Standalone usage (no pytest required)::
+
+    python benchmarks/bench_chaos.py --scale smoke --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import build_benchmark, generic_40nm, place_benchmark
+from repro.graph import build_hetero_graph
+from repro.model.gnn3d import Gnn3d, Gnn3dConfig
+from repro.perf.timing import load_bench_json
+from repro.reliability import FaultPlan
+from repro.router import RoutingGrid
+from repro.serve import (
+    ClusterConfig,
+    ModelRegistry,
+    ServeCluster,
+    ServeConfig,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Deterministic chaos schedules.  Ordinals are submission indices; the
+#: stall unit is a dispatcher acknowledgement ordinal (identical
+#: numbering, since the steady phase acknowledges in submission order).
+SCALES = {
+    "smoke": {
+        "requests": 240,
+        "workers": 2,
+        "kill_at": (40, 170),
+        "corrupt_rollover_at": 80,
+        "clean_rollover_at": 130,
+        "stall_unit": 200,
+        "flood": 48,
+        "deadline_s": 3.0,
+        "stall_seconds": 12.0,
+        "hang_grace_s": 0.3,
+        "max_queue": 16,
+        "worker_window": 2,
+        "placement_iterations": 100,
+    },
+    "full": {
+        "requests": 600,
+        "workers": 3,
+        "kill_at": (60, 220, 520),
+        "corrupt_rollover_at": 120,
+        "clean_rollover_at": 300,
+        "stall_unit": 420,
+        "flood": 96,
+        "deadline_s": 3.0,
+        "stall_seconds": 12.0,
+        "hang_grace_s": 0.3,
+        "max_queue": 24,
+        "worker_window": 2,
+        "placement_iterations": 150,
+    },
+}
+
+#: Availability floor the --check gate enforces.
+AVAILABILITY_FLOOR = 0.99
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values), q))
+
+
+def _tamper(registry_root: Path, name: str, version: str) -> None:
+    weights = registry_root / name / version / "weights.npz"
+    weights.write_bytes(weights.read_bytes()[:-16] + b"chaos-corruption")
+
+
+def measure(scale: str) -> dict:
+    """Run the chaos schedule at ``scale``; return the record."""
+    spec = SCALES[scale]
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A", seed=0,
+                                iterations=spec["placement_iterations"])
+    graph = build_hetero_graph(RoutingGrid(placement, generic_40nm()))
+
+    def make_model(seed: int) -> Gnn3d:
+        return Gnn3d(graph.ap_features.shape[1],
+                     graph.module_features.shape[1],
+                     Gnn3dConfig(hidden=8, num_layers=1, rbf_centers=4,
+                                 seed=seed))
+
+    rng = np.random.default_rng(0)
+    stream = [rng.uniform(0.5, 2.0, size=(graph.num_aps, 3))
+              for _ in range(spec["requests"] + spec["flood"])]
+
+    stall_plan = FaultPlan(
+        stage="serve_stall", fail_units=frozenset({spec["stall_unit"]}),
+        stall_seconds=spec["stall_seconds"])
+
+    record: dict = {"scale": scale, "requests": spec["requests"],
+                    "flood": spec["flood"], "workers": spec["workers"]}
+    events: dict = {"kills": 0, "stalls_injected": 1, "corrupt_rollover": None,
+                    "clean_rollover": None}
+    wall_start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        registry_root = Path(tmp) / "registry"
+        registry = ModelRegistry(registry_root)
+        registry.save("ota1", make_model(seed=3), graph)
+        cluster = ServeCluster(
+            registry,
+            ClusterConfig(
+                workers=spec["workers"],
+                max_queue=spec["max_queue"],
+                worker_window=spec["worker_window"],
+                default_deadline_s=spec["deadline_s"],
+                hang_grace_s=spec["hang_grace_s"],
+                serve=ServeConfig(max_batch=spec["worker_window"],
+                                  max_queue=spec["max_queue"])),
+            fault_plans=(stall_plan,))
+        cluster.add_endpoint("ota1", "ota1", graph)
+        with cluster:
+            # -- steady open-loop load with the fault schedule ------------
+            for index in range(spec["requests"]):
+                if index in spec["kill_at"]:
+                    victim = events["kills"] % spec["workers"]
+                    cluster.kill_worker(victim)
+                    events["kills"] += 1
+                if index == spec["corrupt_rollover_at"]:
+                    bad = registry.save("ota1", make_model(seed=9), graph)
+                    _tamper(registry_root, "ota1", bad.version)
+                    outcome = cluster.rollover("ota1")
+                    events["corrupt_rollover"] = {
+                        "ok": outcome.ok,
+                        "quarantined": outcome.quarantined,
+                        "serving": cluster.versions["ota1"]}
+                if index == spec["clean_rollover_at"]:
+                    good = registry.save("ota1", make_model(seed=11), graph)
+                    outcome = cluster.rollover("ota1")
+                    events["clean_rollover"] = {
+                        "ok": outcome.ok,
+                        "to_version": outcome.to_version,
+                        "expected": good.version,
+                        "reason": outcome.reason}
+                cluster.submit("ota1", stream[index],
+                               request_id=f"req-{index}")
+                # Open-loop pacing: admission outruns scoring, so yield
+                # pump cycles whenever the pipeline is saturated instead
+                # of letting the steady phase shed.
+                while cluster.outstanding() >= spec["max_queue"]:
+                    cluster.pump()
+            steady = cluster.drain()
+            # -- queue flood: shed, don't fail closed ---------------------
+            for index in range(spec["flood"]):
+                cluster.submit(
+                    "ota1", stream[spec["requests"] + index],
+                    request_id=f"flood-{index}")
+            flood = cluster.drain()
+            stats = cluster.stats
+            recoveries = cluster.recovery_times()
+            serving_version = cluster.versions["ota1"]
+    wall_s = time.perf_counter() - wall_start
+
+    results = steady + flood
+    ok_latencies = sorted(r.latency_s for r in results if r.status == "ok")
+    served = stats.ok + stats.failed + stats.timeout
+    availability = stats.ok / served if served else 0.0
+    lost = stats.submitted - stats.accounted()
+    record.update({
+        "outcomes": {"ok": stats.ok, "failed": stats.failed,
+                     "timeout": stats.timeout, "shed": stats.shed,
+                     "rejected": stats.rejected},
+        "submitted": stats.submitted,
+        "lost_requests": lost,
+        "availability": round(availability, 5),
+        "error_budget_used": round(1.0 - availability, 5),
+        "redispatched": stats.redispatched,
+        "duplicates_dropped": stats.duplicates,
+        "restarts": stats.restarts,
+        "hung_kills": stats.hung_kills,
+        "latency_s": {"p50": round(_percentile(ok_latencies, 50), 4),
+                      "p95": round(_percentile(ok_latencies, 95), 4),
+                      "p99": round(_percentile(ok_latencies, 99), 4)},
+        "recovery_s": {
+            "count": len(recoveries),
+            "mean": round(float(np.mean(recoveries)), 4) if recoveries
+            else None,
+            "max": round(max(recoveries), 4) if recoveries else None},
+        "events": events,
+        "serving_version": serving_version,
+        "wall_s": round(wall_s, 2),
+    })
+    return record
+
+
+def check(record: dict) -> list[str]:
+    """The chaos gate: absolute availability/zero-loss invariants."""
+    problems: list[str] = []
+    if record["availability"] < AVAILABILITY_FLOOR:
+        problems.append(
+            f"availability {record['availability']:.4f} < "
+            f"{AVAILABILITY_FLOOR:.2f} under injected failure")
+    if record["lost_requests"] != 0:
+        problems.append(
+            f"{record['lost_requests']} acknowledged request(s) lost "
+            f"(submitted {record['submitted']}, outcomes "
+            f"{record['outcomes']})")
+    if record["restarts"] < len(SCALES[record["scale"]]["kill_at"]):
+        problems.append(
+            f"only {record['restarts']} restart(s) for "
+            f"{len(SCALES[record['scale']]['kill_at'])} kill(s)")
+    if record["recovery_s"]["count"] < 1:
+        problems.append("no recovery time was recorded after kills")
+    corrupt = record["events"]["corrupt_rollover"]
+    if corrupt is None or corrupt["ok"] or not corrupt["quarantined"]:
+        problems.append(
+            f"corrupt rollover was not quarantined: {corrupt}")
+    clean = record["events"]["clean_rollover"]
+    if clean is None or not clean["ok"] \
+            or clean["to_version"] != clean["expected"]:
+        problems.append(f"clean rollover failed: {clean}")
+    if record["outcomes"]["shed"] < 1:
+        problems.append(
+            "the queue flood shed nothing — load-shedding is dead code")
+    if record["outcomes"]["timeout"] < 1:
+        problems.append(
+            "the stall injected no timeout — deadline path is dead code")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    parser.add_argument("--out", default=str(DEFAULT_OUT),
+                        help="BENCH_perf.json to update in place")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when availability < 99%%, any "
+                             "acknowledged request is lost, or a chaos "
+                             "scenario did not exercise its path")
+    args = parser.parse_args(argv)
+
+    chaos = measure(args.scale)
+
+    out_path = Path(args.out)
+    payload = load_bench_json(out_path) or {}
+    payload["chaos"] = chaos
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote chaos section of {out_path}")
+    print(f"  availability: {chaos['availability']:.4f} "
+          f"(outcomes {chaos['outcomes']})")
+    print(f"  lost: {chaos['lost_requests']}  "
+          f"redispatched: {chaos['redispatched']}  "
+          f"duplicates dropped: {chaos['duplicates_dropped']}")
+    print(f"  restarts: {chaos['restarts']} "
+          f"(hung kills {chaos['hung_kills']}), recovery "
+          f"{chaos['recovery_s']}")
+    print(f"  latency p50/p95/p99: {chaos['latency_s']['p50']}/"
+          f"{chaos['latency_s']['p95']}/{chaos['latency_s']['p99']} s")
+    print(f"  rollovers: corrupt={chaos['events']['corrupt_rollover']} "
+          f"clean={chaos['events']['clean_rollover']}")
+    print(f"  wall: {chaos['wall_s']}s")
+
+    problems = check(chaos) if args.check else []
+    if problems:
+        print("CHAOS GATE FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli serve-save OTA1 --registry reg --name ota1
     python -m repro.cli serve-score OTA1 --registry reg --model ota1 \
         --random 8 --out scores.jsonl
+    python -m repro.cli serve-cluster OTA1 --registry reg --model ota1 \
+        --workers 2 --random 32 --deadline 10 --out scores.jsonl
 """
 
 from __future__ import annotations
@@ -38,9 +40,11 @@ from repro import (
 from repro.graph import build_hetero_graph
 from repro.serve import (
     DEFAULT_FORWARD_BLOCK,
+    ClusterConfig,
     ModelRegistry,
     ScoreRequest,
     ScoringService,
+    ServeCluster,
     ServeConfig,
 )
 from repro.core import RelaxationConfig
@@ -284,6 +288,61 @@ def _cmd_serve_score(args: argparse.Namespace) -> int:
     return 0 if stats.failed == 0 and rejected == 0 else 1
 
 
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.reliability import ServeError
+
+    if not args.in_path and not args.random:
+        raise ValueError("serve-cluster needs --in PATH or --random N")
+    _circuit, placement = _load_or_place(args)
+    graph = build_hetero_graph(RoutingGrid(placement, generic_40nm()))
+    name, _, version = args.model.partition("@")
+    registry = ModelRegistry(args.registry)
+    manifest = registry.load_manifest(name, version or None)
+    cluster = ServeCluster(
+        registry,
+        ClusterConfig(workers=args.workers, max_queue=args.max_queue,
+                      default_deadline_s=args.deadline,
+                      serve=ServeConfig(max_batch=args.max_batch,
+                                        max_queue=args.max_queue)))
+    cluster.add_endpoint(name, name, graph)
+    out = (Path(args.out).open("w", encoding="utf-8") if args.out
+           else sys.stdout)
+    rejected = 0
+    try:
+        with cluster:
+            for request in _serve_requests(args, name, graph.num_aps,
+                                           manifest.c_max):
+                try:
+                    cluster.submit(name, request.guidance,
+                                   request_id=request.request_id)
+                except ServeError as exc:
+                    rejected += 1
+                    out.write(json.dumps(
+                        {"id": request.request_id, "graph_id": name,
+                         "status": "rejected", "error": str(exc)},
+                        sort_keys=True) + "\n")
+                    continue
+                for result in cluster.take_completed():
+                    out.write(json.dumps(result.to_dict(),
+                                         sort_keys=True) + "\n")
+            for result in cluster.drain():
+                out.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+            stats = cluster.stats
+    finally:
+        if args.out:
+            out.close()
+    print(f"cluster of {args.workers} served {manifest.name}: "
+          f"ok={stats.ok} failed={stats.failed} timeout={stats.timeout} "
+          f"shed={stats.shed} rejected={rejected} restarts={stats.restarts}",
+          file=sys.stderr if not args.out else sys.stdout)
+    if args.out:
+        print(f"wrote {args.out}")
+    degraded = stats.failed + stats.timeout + stats.shed + rejected
+    return 0 if degraded == 0 else 1
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     cell = evaluate_cell(args.circuit, args.variant, scale=args.scale,
                          seed=args.seed)
@@ -397,6 +456,36 @@ def build_parser() -> argparse.ArgumentParser:
                          default=DEFAULT_FORWARD_BLOCK,
                          help="candidates per union forward inside a wave")
     p_score.set_defaults(func=_cmd_serve_score)
+
+    p_cluster = sub.add_parser(
+        "serve-cluster",
+        help="score through a supervised multi-worker serving cluster")
+    _add_common(p_cluster)
+    p_cluster.add_argument("--placement", help="placement JSON to load")
+    p_cluster.add_argument("--registry", required=True, metavar="DIR")
+    p_cluster.add_argument("--model", required=True,
+                           metavar="NAME[@VERSION]",
+                           help="registry model to serve (latest version "
+                                "when omitted)")
+    p_cluster.add_argument("--in", dest="in_path", metavar="PATH",
+                           help="request JSONL, one "
+                                '{"id": ..., "guidance": [[h,w,z] per AP]} '
+                                "per line")
+    p_cluster.add_argument("--random", type=int, default=0, metavar="N",
+                           help="score N random feasible candidates "
+                                "instead of reading --in")
+    p_cluster.add_argument("--out", metavar="PATH",
+                           help="write result JSONL here (default: stdout)")
+    p_cluster.add_argument("--workers", type=int, default=2,
+                           help="supervised worker processes")
+    p_cluster.add_argument("--deadline", type=float, default=30.0,
+                           help="per-request deadline, seconds")
+    p_cluster.add_argument("--max-batch", type=int, default=8,
+                           help="per-worker micro-batch size")
+    p_cluster.add_argument("--max-queue", type=int, default=64,
+                           help="global pending-queue bound (sheds "
+                                "earliest-deadline-first beyond it)")
+    p_cluster.set_defaults(func=_cmd_serve_cluster)
 
     p_cmp = sub.add_parser("compare", help="Table 2 row for one cell")
     _add_common(p_cmp)

@@ -35,6 +35,7 @@ STAGE_PACKAGES = ("repro.core", "repro.router",
 TAXONOMY = frozenset({
     "ReproError", "RoutingError", "ExtractionError", "SimulationError",
     "RelaxationError", "DataQualityError", "CheckpointError", "ServeError",
+    "ServeTimeoutError",
 })
 
 #: Builtin exceptions signalling caller contract violations — allowed

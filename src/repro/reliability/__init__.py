@@ -26,6 +26,7 @@ from repro.reliability.errors import (
     ReproError,
     RoutingError,
     ServeError,
+    ServeTimeoutError,
     SimulationError,
     error_for_stage,
 )
@@ -35,6 +36,7 @@ from repro.reliability.faults import (
     active_plans,
     fault_scope,
     inject_faults,
+    maybe_stall,
 )
 from repro.reliability.retry import RetryPolicy, retry, retry_call
 from repro.reliability.policy import (
@@ -59,6 +61,7 @@ __all__ = [
     "DataQualityError",
     "CheckpointError",
     "ServeError",
+    "ServeTimeoutError",
     "error_for_stage",
     "RetryPolicy",
     "retry",
@@ -76,4 +79,5 @@ __all__ = [
     "inject_faults",
     "fault_scope",
     "active_plans",
+    "maybe_stall",
 ]

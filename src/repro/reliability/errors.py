@@ -126,6 +126,14 @@ class ServeError(ReproError):
     that cannot be scored."""
 
 
+class ServeTimeoutError(ServeError):
+    """An acknowledged scoring request missed its deadline — while
+    queued, in flight on a worker that stalled, or waiting out a
+    supervisor restart.  Subclasses :class:`ServeError` so existing
+    serve-failure handlers keep working; catch it specifically to
+    distinguish "too slow" from "cannot be scored"."""
+
+
 #: Stage name -> error type raised when a fault is injected at that stage.
 STAGE_ERRORS: dict[str, type[ReproError]] = {
     "routing": RoutingError,

@@ -16,7 +16,11 @@ error when the current call index is selected, either explicitly
 hashed per index so outcomes are independent of call order history).
 :func:`poison(stage, value)` is the non-raising variant used by the
 relaxer: selected calls get their value replaced with NaN, exercising
-the non-finite-potential degradation path.
+the non-finite-potential degradation path.  :func:`maybe_stall(stage)`
+is the serve-scoped variant: a plan with ``stall_seconds > 0`` makes
+selected calls report a stall duration instead of raising, which the
+cluster worker sleeps out — simulating a wedged forward so deadline
+enforcement and hung-worker recovery can be proven on a schedule.
 
 Call-order counting is process-local, so ``fail_indices`` cannot
 describe a *parallel* database construction, where each worker process
@@ -88,6 +92,10 @@ class FaultPlan:
         seed: RNG seed for probabilistic selection; outcomes depend only
             on ``(seed, call index)``, never on call history.
         message: text of the injected error.
+        stall_seconds: when > 0, selected calls *stall* for this long
+            (via :func:`maybe_stall`) instead of raising — the
+            slow-forward fault the serving chaos harness uses to
+            exercise deadlines and hung-worker recovery.
     """
 
     stage: str
@@ -96,11 +104,16 @@ class FaultPlan:
     probability: float = 0.0
     seed: int = 0
     message: str = "injected fault"
+    stall_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(
                 f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
             )
         object.__setattr__(self, "fail_indices", frozenset(self.fail_indices))
         object.__setattr__(self, "fail_units", frozenset(self.fail_units))
@@ -158,9 +171,12 @@ class FaultInjector:
         return unit, unit_call
 
     def _selected(self, stage: str, index: int, unit: int | None,
-                  unit_call: int) -> "FaultPlan | None":
+                  unit_call: int,
+                  stalls: bool = False) -> "FaultPlan | None":
         for plan in self.plans:
             if plan.stage != stage:
+                continue
+            if (plan.stall_seconds > 0) != stalls:
                 continue
             if plan.selects(index):
                 return plan
@@ -188,6 +204,20 @@ class FaultInjector:
             return math.nan
         return value
 
+    def stall(self, stage: str) -> float:
+        """Seconds this call should stall (0.0 when not selected).
+
+        Only plans with ``stall_seconds > 0`` participate; raising plans
+        on the same stage keep flowing through :meth:`check`.
+        """
+        index = self._observe(stage)
+        unit, unit_call = self._observe_unit(stage)
+        plan = self._selected(stage, index, unit, unit_call, stalls=True)
+        if plan is not None:
+            self.injected.append((stage, index))
+            return plan.stall_seconds
+        return 0.0
+
 
 #: Alias reading naturally at the ``with`` site.
 inject_faults = FaultInjector
@@ -211,3 +241,15 @@ def poison(stage: str, value: float) -> float:
     for injector in _ACTIVE:
         value = injector.poison(stage, value)
     return value
+
+
+def maybe_stall(stage: str) -> float:
+    """Seconds the current call should stall; 0.0 when nothing selects it.
+
+    The caller is responsible for actually sleeping — the hook only
+    reports the injected duration, so tests can also assert on it
+    without burning wall time.
+    """
+    if not _ACTIVE:
+        return 0.0
+    return sum(injector.stall(stage) for injector in _ACTIVE)

@@ -10,7 +10,13 @@ vectors, then skipped.
 Backoff sleeping defaults to zero: the failures here are deterministic
 (solver divergence, unroutable nets), not transient I/O, and tests need
 determinism.  A nonzero ``backoff_base`` enables real sleeping for
-service deployments where the failure may be resource contention.
+service deployments where the failure may be resource contention; those
+deployments should also set ``jitter="full"`` so colliding retriers
+(e.g. several supervisor-restarted workers hammering one registry)
+decorrelate instead of thundering in lockstep.  Jitter draws come from
+a ``default_rng([jitter_seed, attempt])`` stream — deterministic given
+the policy, independent of call history — so the RNG discipline that
+makes parallel runs bit-identical (RNG001) holds for backoff too.
 """
 
 from __future__ import annotations
@@ -20,9 +26,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
+import numpy as np
+
 from repro.reliability.errors import ReproError
 
 T = TypeVar("T")
+
+#: Valid values of :attr:`RetryPolicy.jitter`.
+JITTER_MODES = ("none", "full")
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,12 @@ class RetryPolicy:
         backoff_base: seconds slept before the first retry (0 disables).
         backoff_factor: multiplier applied per subsequent retry.
         backoff_max: cap on a single sleep, seconds.
+        jitter: ``"none"`` sleeps the exact exponential schedule;
+            ``"full"`` draws uniformly from ``[0, schedule]`` (AWS-style
+            full jitter), bounded by the same ``backoff_max`` cap.
+        jitter_seed: seed of the jitter stream; draws depend only on
+            ``(jitter_seed, attempt)``, so two policies with different
+            seeds decorrelate while each stays deterministic.
     """
 
     max_attempts: int = 3
@@ -43,6 +60,8 @@ class RetryPolicy:
     backoff_base: float = 0.0
     backoff_factor: float = 2.0
     backoff_max: float = 30.0
+    jitter: str = "none"
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -53,13 +72,25 @@ class RetryPolicy:
             raise ValueError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.jitter not in JITTER_MODES:
+            raise ValueError(
+                f"jitter must be one of {JITTER_MODES}, got {self.jitter!r}")
 
     def sleep_for(self, attempt: int) -> float:
-        """Sleep before retry number ``attempt`` (1-based retries)."""
+        """Sleep before retry number ``attempt`` (1-based retries).
+
+        With ``jitter="full"`` the return value is a deterministic
+        uniform draw from ``[0, min(base * factor**(attempt-1), max)]``
+        seeded by ``(jitter_seed, attempt)``.
+        """
         if self.backoff_base <= 0:
             return 0.0
-        return min(self.backoff_base * self.backoff_factor ** (attempt - 1),
-                   self.backoff_max)
+        ceiling = min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                      self.backoff_max)
+        if self.jitter == "none":
+            return ceiling
+        draw = np.random.default_rng([self.jitter_seed, attempt]).random()
+        return draw * ceiling
 
 
 def retry_call(

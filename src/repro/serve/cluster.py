@@ -1,0 +1,557 @@
+"""Fault-tolerant multi-worker serving: the ``ServeCluster`` facade.
+
+A :class:`ServeCluster` runs ``workers`` supervised
+:class:`~repro.serve.service.ScoringService` processes behind one
+synchronous API.  Each component owns one concern:
+
+* :class:`~repro.serve.dispatch.Dispatcher` — admission, graph-affinity
+  routing, deadlines, circuit breakers, load shedding, at-least-once
+  re-dispatch with request-id dedup;
+* :class:`~repro.serve.supervisor.Supervisor` — process lifecycle,
+  heartbeats, capped-backoff restarts;
+* :mod:`~repro.serve.worker` — the per-process scoring loop.
+
+The cluster's single-threaded ``pump`` stitches them together, so every
+state transition is observable and deterministic enough to chaos-test:
+``benchmarks/bench_chaos.py`` drives this exact loop under injected
+worker kills, stalls, and checkpoint corruption and gates on the
+resulting availability.
+
+Guarantees (proven in ``tests/test_serve_cluster.py``):
+
+* an acknowledged request always reaches exactly one terminal outcome
+  (``ok`` / ``failed`` / ``timeout`` / ``shed``), kills or not;
+* results are bit-identical to a single-process
+  :class:`ScoringService` for any worker count (same model, same math —
+  batching composition does not change a score);
+* a checkpoint that fails integrity verification never serves a
+  request: rollover quarantines it in the registry and rolls the
+  cluster back to the last good version.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graph.hetero import HeteroGraph
+from repro.obs import NULL_CONTEXT, RunContext
+from repro.reliability.errors import ServeError, ServeTimeoutError
+from repro.reliability.faults import active_plans
+from repro.reliability.retry import RetryPolicy
+from repro.serve.dispatch import ClusterResult, ClusterStats, Dispatcher
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import ScoreRequest, ServeConfig
+from repro.serve.supervisor import (
+    RELOAD_FAILED,
+    RELOAD_OK,
+    RELOAD_PENDING,
+    Supervisor,
+)
+from repro.serve.worker import WorkerContext
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Serving-cluster knobs.
+
+    Attributes:
+        workers: worker-process slots.
+        max_queue: global bound on acknowledged-but-undispatched
+            requests; beyond it the earliest-deadline entry is shed.
+        worker_window: in-flight cap per worker.
+        default_deadline_s: per-request deadline when the caller gives
+            none (``None`` disables deadlines entirely).
+        hang_grace_s: how long a worker may sit on an expired request
+            without any message before it is declared hung and killed.
+        breaker_threshold: consecutive failures that open a worker's
+            circuit breaker.
+        breaker_cooldown_s: open-breaker cooldown before the half-open
+            probe.
+        heartbeat_interval_s / heartbeat_timeout_s: liveness pinging.
+        restart_backoff_base_s / restart_backoff_max_s: capped
+            full-jitter backoff between a worker death and its respawn.
+        start_timeout_s: bound on :meth:`ServeCluster.start` and on each
+            rollover handshake.
+        serve: per-worker :class:`ServeConfig` (micro-batching knobs).
+        start_method: multiprocessing start method (fork-preferred).
+        tick_s: pump granularity while waiting for messages.
+    """
+
+    workers: int = 2
+    max_queue: int = 64
+    worker_window: int = 4
+    default_deadline_s: float | None = 30.0
+    hang_grace_s: float = 0.5
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 1.0
+    heartbeat_interval_s: float = 5.0
+    heartbeat_timeout_s: float = 10.0
+    restart_backoff_base_s: float = 0.05
+    restart_backoff_max_s: float = 2.0
+    start_timeout_s: float = 60.0
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    start_method: str | None = None
+    tick_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.default_deadline_s is not None \
+                and self.default_deadline_s <= 0:
+            raise ValueError(
+                "default_deadline_s must be positive or None, got "
+                f"{self.default_deadline_s}")
+        if self.hang_grace_s < 0:
+            raise ValueError(
+                f"hang_grace_s must be >= 0, got {self.hang_grace_s}")
+        if self.tick_s <= 0:
+            raise ValueError(f"tick_s must be > 0, got {self.tick_s}")
+
+
+@dataclass(frozen=True)
+class RolloverResult:
+    """Outcome of one :meth:`ServeCluster.rollover`.
+
+    ``ok`` with ``to_version == from_version`` means a no-op (already
+    serving the target).  ``rolled_back`` reports that a partial switch
+    was undone after a worker rejected the new checkpoint.
+    """
+
+    ok: bool
+    model: str
+    from_version: str
+    to_version: str
+    rolled_back: bool = False
+    quarantined: str | None = None
+    reason: str | None = None
+
+
+class ServeCluster:
+    """A supervised pool of scoring workers behind one dispatch queue.
+
+    Usage::
+
+        cluster = ServeCluster(registry_root, config)
+        cluster.add_endpoint("ota1", "fold-ota", graph)
+        with cluster:                      # start() .. close()
+            acked = cluster.submit("ota1", guidance, deadline_s=2.0)
+            results = cluster.drain()
+
+    All pumping happens on the caller's thread — the cluster makes
+    progress inside ``submit`` / ``drain`` / ``pump`` calls, never in
+    the background.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path,
+        config: ClusterConfig | None = None,
+        obs: RunContext | None = None,
+        fault_plans: Sequence | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.config = config or ClusterConfig()
+        self.obs = obs if obs is not None else NULL_CONTEXT
+        self.registry = (registry if isinstance(registry, ModelRegistry)
+                         else ModelRegistry(registry, obs=self.obs))
+        self.clock = clock
+        #: Plans shipped to workers; defaults to the plans active in the
+        #: parent at start() time, mirroring SamplePool's inheritance.
+        self._fault_plans = fault_plans
+        self._endpoints: list[tuple[str, str]] = []
+        self._graphs: dict[str, HeteroGraph] = {}
+        self._versions: dict[str, str] = {}
+        self._dispatcher: Dispatcher | None = None
+        self._supervisor: Supervisor | None = None
+        self._started = False
+        self._deferred_error: ServeError | None = None
+
+    # -- setup --------------------------------------------------------------------
+
+    def add_endpoint(self, graph_id: str, model_name: str,
+                     graph: HeteroGraph) -> None:
+        """Declare an endpoint before :meth:`start`."""
+        if self._started:
+            raise ServeError(
+                "cannot add endpoints to a started cluster", stage="serve")
+        if graph_id in self._graphs:
+            raise ServeError(
+                f"endpoint {graph_id!r} already declared", stage="serve")
+        self._endpoints.append((graph_id, model_name))
+        self._graphs[graph_id] = graph
+
+    def _worker_context(self, index: int) -> WorkerContext:
+        return WorkerContext(
+            index=index,
+            registry_root=str(self.registry.root),
+            endpoints=tuple(self._endpoints),
+            graphs=dict(self._graphs),
+            versions=dict(self._versions),
+            serve=self.config.serve,
+            fault_plans=tuple(self._fault_plans
+                              if self._fault_plans is not None
+                              else active_plans()),
+        )
+
+    def start(self) -> None:
+        """Resolve versions, spawn workers, wait until all are serving.
+
+        A worker that reports a checkpoint-integrity failure gets that
+        version quarantined; the cluster re-resolves and the slot
+        respawns on the previous good version — startup succeeds as
+        long as *some* servable version exists per model.
+        """
+        if self._started:
+            raise ServeError("cluster already started", stage="serve")
+        if not self._endpoints:
+            raise ServeError("no endpoints declared", stage="serve")
+        for _, name in self._endpoints:
+            if name not in self._versions:
+                self._versions[name] = self.registry.latest(name)
+        cfg = self.config
+        self._dispatcher = Dispatcher(
+            workers=cfg.workers, max_queue=cfg.max_queue,
+            worker_window=cfg.worker_window,
+            breaker_threshold=cfg.breaker_threshold,
+            breaker_cooldown_s=cfg.breaker_cooldown_s,
+            obs=self.obs, clock=self.clock)
+        self._supervisor = Supervisor(
+            make_context=self._worker_context, workers=cfg.workers,
+            restart_policy=RetryPolicy(
+                max_attempts=1,
+                backoff_base=cfg.restart_backoff_base_s,
+                backoff_factor=2.0,
+                backoff_max=cfg.restart_backoff_max_s,
+                jitter="full"),
+            heartbeat_interval_s=cfg.heartbeat_interval_s,
+            heartbeat_timeout_s=cfg.heartbeat_timeout_s,
+            obs=self.obs, clock=self.clock,
+            start_method=cfg.start_method)
+        self._supervisor.start()
+        self._started = True
+        deadline = self.clock() + cfg.start_timeout_s
+        while not self._supervisor.all_ready():
+            self.pump()
+            try:
+                self._raise_deferred()
+            except ServeError:
+                self.close()
+                raise
+            if self.clock() >= deadline:
+                self.close()
+                raise ServeError(
+                    f"cluster start timed out after {cfg.start_timeout_s}s",
+                    stage="serve")
+
+    def close(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.close()
+        self._started = False
+
+    def __enter__(self) -> "ServeCluster":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- submission ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> ClusterStats:
+        if self._dispatcher is None:
+            return ClusterStats()
+        stats = self._dispatcher.stats
+        if self._supervisor is not None:
+            stats.restarts = self._supervisor.restarts
+        return stats
+
+    @property
+    def versions(self) -> dict[str, str]:
+        """Currently served ``model -> version`` map."""
+        return dict(self._versions)
+
+    def _require_started(self) -> None:
+        if not self._started or self._dispatcher is None:
+            raise ServeError("cluster is not started", stage="serve")
+
+    def submit(self, graph_id: str, guidance: np.ndarray,
+               request_id: str | None = None,
+               deadline_s: float | None = None) -> ScoreRequest:
+        """Acknowledge one request; returns it with an id assigned.
+
+        Validation (unknown graph, misshaped or non-finite guidance)
+        rejects *before* acknowledgement with a :class:`ServeError`;
+        everything acknowledged is guaranteed a terminal outcome.
+        """
+        self._require_started()
+        graph = self._graphs.get(graph_id)
+        if graph is None:
+            self._dispatcher.reject()
+            raise ServeError(
+                f"unknown graph_id {graph_id!r} (registered: "
+                f"{sorted(self._graphs)})", stage="serve")
+        guidance = np.asarray(guidance, dtype=float)
+        expected = (graph.num_aps, 3)
+        if guidance.shape != expected:
+            self._dispatcher.reject()
+            raise ServeError(
+                f"guidance shape {guidance.shape} != {expected} for "
+                f"graph {graph_id!r}", stage="serve")
+        if not np.isfinite(guidance).all():
+            self._dispatcher.reject()
+            raise ServeError(
+                f"non-finite guidance for graph {graph_id!r}",
+                stage="serve")
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        deadline = (None if deadline_s is None
+                    else self.clock() + deadline_s)
+        pending = self._dispatcher.ack(
+            ScoreRequest(graph_id=graph_id, guidance=guidance,
+                         request_id=request_id),
+            deadline=deadline)
+        self.pump(wait_s=0.0)
+        return pending.request
+
+    def score(self, graph_id: str, guidance: np.ndarray,
+              request_id: str | None = None,
+              deadline_s: float | None = None) -> ClusterResult:
+        """Submit one request and pump until *its* outcome is terminal.
+
+        Raises :class:`ServeTimeoutError` when the outcome is a missed
+        deadline; shed cannot happen to the only outstanding request of
+        a compliant queue, but would also raise as a timeout would.
+        """
+        acked = self.submit(graph_id, guidance, request_id=request_id,
+                            deadline_s=deadline_s)
+        while self._dispatcher.result_for(acked.request_id) is None:
+            self.pump()
+            self._raise_deferred()
+        result = self._dispatcher.result_for(acked.request_id)
+        if result.status == "timeout":
+            raise ServeTimeoutError(result.error or "deadline exceeded",
+                                    stage="serve",
+                                    details={"request_id": acked.request_id})
+        if result.status == "shed":
+            raise ServeError(result.error or "request shed", stage="serve",
+                             details={"request_id": acked.request_id})
+        return result
+
+    def drain(self) -> list[ClusterResult]:
+        """Pump until nothing is outstanding; results in submit order.
+
+        Termination is guaranteed when deadlines are enabled: even with
+        every worker down, outstanding requests eventually time out.
+        """
+        self._require_started()
+        while self._dispatcher.outstanding() > 0:
+            self.pump()
+            self._raise_deferred()
+        self.pump(wait_s=0.0)
+        return self._dispatcher.take_completed()
+
+    def take_completed(self) -> list[ClusterResult]:
+        """Non-blocking: whatever finished since the last take."""
+        self._require_started()
+        return self._dispatcher.take_completed()
+
+    def outstanding(self) -> int:
+        """Acknowledged requests without a terminal outcome yet."""
+        self._require_started()
+        return self._dispatcher.outstanding()
+
+    def recovery_times(self) -> list[float]:
+        """Seconds from each worker death to its slot serving again."""
+        if self._supervisor is None:
+            return []
+        return list(self._supervisor.recoveries)
+
+    # -- chaos hooks --------------------------------------------------------------
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL a worker (chaos harness hook); it will be restarted
+        and its acknowledged in-flight work re-dispatched."""
+        self._require_started()
+        self._supervisor.kill(index, reason="chaos_kill")
+
+    # -- pump ---------------------------------------------------------------------
+
+    def pump(self, wait_s: float | None = None) -> None:
+        """One supervision/dispatch/receive cycle.
+
+        Safe to call at any frequency; blocks at most ``wait_s``
+        (default ``tick_s``) waiting for worker messages.
+        """
+        self._require_started()
+        supervisor, dispatcher = self._supervisor, self._dispatcher
+        for kind, index in supervisor.poll_events():
+            if kind == "down":
+                dispatcher.worker_down(index)
+        for index in dispatcher.expire(self.config.hang_grace_s):
+            dispatcher.stats.hung_kills += 1
+            supervisor.kill(index, reason="hung")
+        for index in supervisor.heartbeat():
+            dispatcher.stats.hung_kills += 1
+            supervisor.kill(index, reason="hung")
+        for index, pending in dispatcher.assign(supervisor.ready_indices()):
+            supervisor.send(index, ("score", {
+                "id": pending.request.request_id,
+                "graph_id": pending.request.graph_id,
+                "guidance": pending.request.guidance,
+                "unit": pending.unit}))
+            # A failed send marked the slot down; the queued "down"
+            # event re-dispatches this request on the next cycle.
+        timeout = self.config.tick_s if wait_s is None else wait_s
+        for index, message in supervisor.receive(timeout):
+            self._handle(index, message)
+
+    def _handle(self, index: int, message: tuple) -> None:
+        supervisor, dispatcher = self._supervisor, self._dispatcher
+        kind = message[0]
+        if kind == "result":
+            dispatcher.record_result(index, message[2])
+        elif kind == "pong":
+            supervisor.note_pong(index, message[2])
+        elif kind == "started":
+            versions = message[2]
+            supervisor.note_ready(index, versions)
+            # A slot that restarted across a rollover comes up on the
+            # stale map it was spawned with; converge it.
+            for name, version in self._versions.items():
+                if versions.get(name) != version:
+                    supervisor.begin_reload(index)
+                    supervisor.send(index, ("reload", name, version))
+        elif kind == "start_failed":
+            _, _, name, version, error = message
+            self._on_start_failed(name, version, error)
+        elif kind == "reloaded":
+            _, _, name, version = message
+            supervisor.note_reload(index, name, version, None)
+        elif kind == "reload_failed":
+            _, _, name, version, error = message
+            supervisor.note_reload(index, name, version, error)
+
+    def _on_start_failed(self, name: str, version: str,
+                         error: str) -> None:
+        """A spawning worker rejected a checkpoint: quarantine it and
+        re-resolve, so the slot's scheduled respawn picks up the
+        previous good version."""
+        if name in self._versions and version == self._versions[name] \
+                and not self.registry.is_quarantined(name, version):
+            self.registry.quarantine(name, version, reason=error)
+            self.stats.rollbacks += 1
+            self.obs.counter("serve_rollback_total", model=name).inc()
+        try:
+            self._versions[name] = self.registry.latest(name)
+        except ServeError as exc:
+            # Nothing servable remains; surface on the next API call
+            # instead of swallowing the failure inside the pump.
+            self._deferred_error = exc
+
+    def _raise_deferred(self) -> None:
+        if self._deferred_error is not None:
+            error, self._deferred_error = self._deferred_error, None
+            raise error
+
+    # -- rollover -----------------------------------------------------------------
+
+    def rollover(self, model_name: str | None = None,
+                 version: str | None = None) -> RolloverResult:
+        """Zero-downtime switch of one model to another version.
+
+        Workers reload sequentially — the rest of the pool keeps
+        serving — and a reload that fails integrity checks quarantines
+        the target version, rolls every already-switched worker back to
+        the prior version, and reports ``rolled_back=True``.  The bad
+        checkpoint never scores a request on any worker.
+        """
+        self._require_started()
+        names = sorted({name for _, name in self._endpoints})
+        if model_name is None:
+            if len(names) != 1:
+                raise ServeError(
+                    f"rollover needs an explicit model among {names}",
+                    stage="serve")
+            model_name = names[0]
+        if model_name not in self._versions:
+            raise ServeError(
+                f"unknown model {model_name!r} (serving {names})",
+                stage="serve")
+        current = self._versions[model_name]
+        target = version or self.registry.latest(model_name)
+        if target == current:
+            return RolloverResult(ok=True, model=model_name,
+                                  from_version=current, to_version=target)
+        switched: list[int] = []
+        for index in list(self._supervisor.ready_indices()):
+            verdict, detail = self._reload_worker(index, model_name, target)
+            if verdict == "ok":
+                switched.append(index)
+                continue
+            # Quarantine only on an explicit checkpoint rejection — a
+            # worker that died or timed out mid-reload says nothing
+            # about the artifact, and quarantining a good version on an
+            # infrastructure hiccup would burn it forever.
+            quarantined = None
+            if verdict == "rejected" \
+                    and not self.registry.is_quarantined(model_name,
+                                                         target):
+                self.registry.quarantine(model_name, target, reason=detail)
+                quarantined = target
+            self._versions[model_name] = current
+            for back in switched:
+                undo, _ = self._reload_worker(back, model_name, current)
+                if undo != "ok":
+                    # Cannot serve the old version either: restart the
+                    # slot; it respawns on self._versions (= current).
+                    self._supervisor.kill(back, reason="rollback")
+            self.stats.rollbacks += 1
+            self.obs.counter("serve_rollback_total",
+                             model=model_name).inc()
+            return RolloverResult(
+                ok=False, model=model_name, from_version=current,
+                to_version=target, rolled_back=bool(switched),
+                quarantined=quarantined, reason=detail)
+        self._versions[model_name] = target
+        self.stats.rollovers += 1
+        self.obs.counter("serve_rollover_total", model=model_name).inc()
+        return RolloverResult(ok=True, model=model_name,
+                              from_version=current, to_version=target)
+
+    def _reload_worker(self, index: int, name: str,
+                       version: str) -> tuple[str, str | None]:
+        """Reload one worker; returns ``(verdict, detail)``.
+
+        Verdicts: ``"ok"`` (switched), ``"rejected"`` (the worker
+        verified the checkpoint and refused it — the artifact is bad),
+        ``"died"`` / ``"timeout"`` (infrastructure failure; the artifact
+        is unjudged).  The pool keeps serving throughout — this pumps
+        the whole cluster while waiting for the one acknowledgement.
+        """
+        supervisor = self._supervisor
+        supervisor.begin_reload(index)
+        if not supervisor.send(index, ("reload", name, version)):
+            return "died", f"worker {index} died before the reload was sent"
+        deadline = self.clock() + self.config.start_timeout_s
+        while True:
+            state, error = supervisor.reload_state(index)
+            if state == RELOAD_OK:
+                supervisor.end_reload(index)
+                return "ok", None
+            if state == RELOAD_FAILED:
+                supervisor.end_reload(index)
+                return "rejected", error or "reload failed"
+            if state != RELOAD_PENDING:
+                # The slot died mid-reload and was reset by _mark_down.
+                return "died", f"worker {index} died during reload"
+            if self.clock() >= deadline:
+                supervisor.kill(index, reason="reload_timeout")
+                return "timeout", f"worker {index} reload timed out"
+            self.pump()

@@ -18,6 +18,20 @@ identity, and (when a serving graph is supplied) graph-fingerprint
 equality.  Every violation raises a typed
 :class:`~repro.reliability.errors.ServeError` so callers can tell a
 corrupt artifact from an unroutable request.
+
+Durability and rollover support:
+
+* **atomic saves** — a version is assembled in a hidden ``.tmp-`` sibling
+  and renamed into place, so a crash mid-save can never leave a
+  half-written ``v000N`` that :meth:`ModelRegistry.latest` would serve;
+* **tolerant listing** — :meth:`versions`/:meth:`latest` skip entries
+  whose manifest is missing or unparseable (counting them under
+  ``serve_registry_skipped_total``) instead of letting one corrupt
+  directory take down every load of the model;
+* **quarantine** — :meth:`quarantine` stamps a version with a
+  ``quarantined.json`` marker; quarantined versions disappear from
+  :meth:`versions`/:meth:`latest` (the cluster's rollback path) while
+  the artifact stays on disk for postmortem.
 """
 
 from __future__ import annotations
@@ -25,12 +39,16 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import re
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.graph.hetero import HeteroGraph
 from repro.model.gnn3d import Gnn3d, Gnn3dConfig
 from repro.nn.serialization import load_state, save_state
+from repro.obs import NULL_CONTEXT, RunContext
 from repro.perf.cache import graph_fingerprint
 from repro.reliability.errors import ServeError
 from repro.simulation.metrics import METRIC_NAMES, FoMWeights
@@ -46,6 +64,12 @@ NORMALIZATION_SCHEME = "performance-metrics.to_normalized.v1"
 
 _WEIGHTS_FILE = "weights.npz"
 _MANIFEST_FILE = "manifest.json"
+_QUARANTINE_FILE = "quarantined.json"
+
+#: Committed version directories: ``v`` + zero-padded ordinal.  The
+#: ``.tmp-`` staging siblings of an in-progress save never match, so a
+#: crashed save is invisible to :meth:`ModelRegistry.versions`.
+_VERSION_RE = re.compile(r"^v\d{4,}$")
 
 
 def _sha256(path: Path) -> str:
@@ -119,31 +143,104 @@ class ModelManifest:
 
 
 class ModelRegistry:
-    """Filesystem-backed store of versioned scoring checkpoints."""
+    """Filesystem-backed store of versioned scoring checkpoints.
 
-    def __init__(self, root: str | Path) -> None:
+    Args:
+        root: registry root directory (created lazily on first save).
+        obs: observability context; skipped-entry and quarantine events
+            are counted through it (``serve_registry_skipped_total``,
+            ``serve_quarantine_total``).
+    """
+
+    def __init__(self, root: str | Path,
+                 obs: RunContext | None = None) -> None:
         self.root = Path(root)
+        self.obs = obs if obs is not None else NULL_CONTEXT
 
     # -- layout -------------------------------------------------------------------
 
     def _version_dir(self, name: str, version: str) -> Path:
         return self.root / name / version
 
+    def _committed(self, path: Path) -> bool:
+        """Whether a version directory is listable (sound manifest,
+        not quarantined); counts the corrupt ones it skips."""
+        manifest = path / _MANIFEST_FILE
+        try:
+            json.loads(manifest.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # Missing or torn manifest: a crashed writer or bit rot.
+            # One bad directory must not take the whole model offline.
+            self.obs.counter("serve_registry_skipped_total",
+                             reason="bad_manifest").inc()
+            return False
+        if (path / _QUARANTINE_FILE).exists():
+            self.obs.counter("serve_registry_skipped_total",
+                             reason="quarantined").inc()
+            return False
+        return True
+
     def versions(self, name: str) -> list[str]:
-        """Existing versions of a model, oldest first; [] when unknown."""
+        """Servable versions of a model, oldest first; [] when unknown.
+
+        Skips (and counts) directories with a missing/unparseable
+        manifest and quarantined versions — see :meth:`all_versions`
+        for the unfiltered listing.
+        """
         model_dir = self.root / name
         if not model_dir.is_dir():
             return []
         return sorted(p.name for p in model_dir.iterdir()
-                      if p.is_dir() and (p / _MANIFEST_FILE).exists())
+                      if p.is_dir() and _VERSION_RE.match(p.name)
+                      and self._committed(p))
+
+    def all_versions(self, name: str) -> list[str]:
+        """Every committed version directory, servable or not."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        return sorted(p.name for p in model_dir.iterdir()
+                      if p.is_dir() and _VERSION_RE.match(p.name))
 
     def latest(self, name: str) -> str:
         versions = self.versions(name)
         if not versions:
             raise ServeError(
-                f"no versions of model {name!r} in registry {self.root}",
-                stage="serve", details={"name": name})
+                f"no servable versions of model {name!r} in registry "
+                f"{self.root}", stage="serve", details={"name": name})
         return versions[-1]
+
+    # -- quarantine ---------------------------------------------------------------
+
+    def quarantine(self, name: str, version: str, reason: str) -> Path:
+        """Mark a version unservable; returns the marker path.
+
+        The artifact stays on disk for postmortem, but the version
+        disappears from :meth:`versions`/:meth:`latest` so rollbacks
+        and restarts can never pick it up again.
+        """
+        target = self._version_dir(name, version)
+        if not target.is_dir():
+            raise ServeError(
+                f"cannot quarantine {name}@{version}: no such version in "
+                f"registry {self.root}", stage="serve",
+                details={"name": name, "version": version})
+        marker = target / _QUARANTINE_FILE
+        marker.write_text(
+            json.dumps({"name": name, "version": version, "reason": reason},
+                       indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        self.obs.counter("serve_quarantine_total", model=name).inc()
+        return marker
+
+    def is_quarantined(self, name: str, version: str) -> bool:
+        return (self._version_dir(name, version) / _QUARANTINE_FILE).exists()
+
+    def quarantine_reason(self, name: str, version: str) -> str | None:
+        marker = self._version_dir(name, version) / _QUARANTINE_FILE
+        if not marker.exists():
+            return None
+        return json.loads(marker.read_text(encoding="utf-8"))["reason"]
 
     # -- save ---------------------------------------------------------------------
 
@@ -155,31 +252,45 @@ class ModelRegistry:
         c_max: float = 4.0,
         weights: FoMWeights | None = None,
     ) -> ModelManifest:
-        """Persist a new version of ``model`` pinned to ``graph``."""
-        existing = self.versions(name)
+        """Persist a new version of ``model`` pinned to ``graph``.
+
+        The version is assembled in a ``.tmp-`` sibling and renamed into
+        place, so a crash at any point leaves :meth:`latest` pointing at
+        the previous version — readers never observe a torn checkpoint.
+        """
+        existing = self.all_versions(name)
         ordinal = (int(existing[-1][1:]) + 1) if existing else 1
         version = f"v{ordinal:04d}"
         target = self._version_dir(name, version)
-        target.mkdir(parents=True)
-        weights_path = target / _WEIGHTS_FILE
-        save_state(model, weights_path)
-        fom = weights or FoMWeights()
-        manifest = ModelManifest(
-            name=name,
-            version=version,
-            weights_sha256=_sha256(weights_path),
-            graph_fingerprint=graph_fingerprint(graph),
-            ap_dim=graph.ap_features.shape[1],
-            module_dim=graph.module_features.shape[1],
-            gnn_config=dataclasses.asdict(model.config),
-            c_max=c_max,
-            fom_weights=tuple(
-                getattr(fom, f.name) for f in dataclasses.fields(fom)),
-            metric_names=tuple(METRIC_NAMES),
-        )
-        (target / _MANIFEST_FILE).write_text(
-            json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8")
+        staging = target.parent / f".tmp-{version}"
+        if staging.exists():
+            shutil.rmtree(staging)  # leftover from a crashed save
+        staging.mkdir(parents=True)
+        try:
+            weights_path = staging / _WEIGHTS_FILE
+            save_state(model, weights_path)
+            fom = weights or FoMWeights()
+            manifest = ModelManifest(
+                name=name,
+                version=version,
+                weights_sha256=_sha256(weights_path),
+                graph_fingerprint=graph_fingerprint(graph),
+                ap_dim=graph.ap_features.shape[1],
+                module_dim=graph.module_features.shape[1],
+                gnn_config=dataclasses.asdict(model.config),
+                c_max=c_max,
+                fom_weights=tuple(
+                    getattr(fom, f.name) for f in dataclasses.fields(fom)),
+                metric_names=tuple(METRIC_NAMES),
+            )
+            (staging / _MANIFEST_FILE).write_text(
+                json.dumps(manifest.to_dict(), indent=2,
+                           sort_keys=True) + "\n",
+                encoding="utf-8")
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        os.replace(staging, target)
         return manifest
 
     # -- load ---------------------------------------------------------------------

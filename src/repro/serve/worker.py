@@ -1,0 +1,204 @@
+"""Cluster worker: one process, one :class:`ScoringService`, one pipe.
+
+``worker_main`` is the process entry point the supervisor spawns.  The
+protocol over the duplex pipe is deliberately tiny — plain tuples whose
+first element is the kind:
+
+parent -> worker
+    ``("score", payload)``      score one request (payload dict below)
+    ``("ping", token)``         liveness probe
+    ``("reload", name, ver)``   switch a model to another version
+    ``("stop",)``               drain nothing, exit cleanly
+
+worker -> parent
+    ``("started", index, versions)``              ready to serve
+    ``("start_failed", index, name, ver, err)``   a checkpoint refused
+    ``("result", index, payload)``                one scored outcome
+    ``("pong", index, token)``
+    ``("reloaded", index, name, ver)``
+    ``("reload_failed", index, name, ver, err)``
+
+Score payloads carry ``{"id", "graph_id", "guidance", "unit"}``; the
+``unit`` is the cluster-wide acknowledgement ordinal, installed as the
+:func:`~repro.reliability.faults.fault_scope` so injected serve faults
+(raising ``stage="serve"`` plans, stalling ``stage="serve_stall"``
+plans) address requests identically no matter which worker serves them
+or how work is re-dispatched after a kill.
+
+Contiguous ``score`` messages waiting in the pipe are coalesced into one
+service flush, so the cluster inherits the micro-batching economics of
+:class:`~repro.serve.service.ScoringService` instead of degenerating to
+batch-of-one under load.
+
+A ``reload`` builds a *fresh* service from the registry and swaps it in
+only after every endpoint loaded and integrity-checked; a checkpoint
+that fails verification therefore never serves a single request — the
+worker reports ``reload_failed`` and keeps serving the old version.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.reliability.errors import ServeError
+from repro.reliability.faults import (
+    _ACTIVE,
+    FaultInjector,
+    FaultPlan,
+    fault_scope,
+    maybe_inject,
+    maybe_stall,
+)
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import ScoreRequest, ScoringService, ServeConfig
+
+#: Fault stage of raising serve plans (forced per-request failures).
+FAULT_STAGE = "serve"
+#: Fault stage of stalling plans (wedged-forward simulation).
+STALL_STAGE = "serve_stall"
+
+
+@dataclass(frozen=True)
+class WorkerContext:
+    """Everything a worker needs to build its service.
+
+    Attributes:
+        index: worker slot number (stable across restarts).
+        registry_root: path of the :class:`ModelRegistry` root.
+        endpoints: ``(graph_id, model_name)`` pairs to expose.
+        graphs: ``graph_id -> HeteroGraph`` serving geometries.
+        versions: ``model_name -> version`` to load at start.
+        serve: per-worker :class:`ServeConfig`.
+        fault_plans: :class:`FaultPlan` set to install (chaos harness).
+    """
+
+    index: int
+    registry_root: str
+    endpoints: tuple
+    graphs: dict
+    versions: dict
+    serve: ServeConfig
+    fault_plans: tuple = ()
+
+
+def _build_service(ctx: WorkerContext, registry: ModelRegistry,
+                   versions: dict) -> ScoringService:
+    """A fresh service with every endpoint loaded and verified.
+
+    Raises the offending endpoint's :class:`ServeError` annotated with
+    the ``(name, version)`` that refused, so the parent can quarantine
+    precisely.
+    """
+    service = ScoringService(ctx.serve)
+    for graph_id, model_name in ctx.endpoints:
+        try:
+            service.register_checkpoint(
+                graph_id, registry, model_name, ctx.graphs[graph_id],
+                version=versions[model_name])
+        except ServeError as exc:
+            exc.details.setdefault("model", model_name)
+            exc.details.setdefault("version", versions[model_name])
+            raise
+    return service
+
+
+def worker_main(conn, ctx: WorkerContext) -> None:
+    """Process entry point: serve until ``stop`` or pipe closure."""
+    # A fork-started worker inherits the parent's active injectors,
+    # whose process-local call counters would diverge between runs.
+    # Start clean and install the shipped plans so selection is purely
+    # unit-scoped (deterministic regardless of worker count).
+    _ACTIVE.clear()
+    plans: tuple[FaultPlan, ...] = tuple(ctx.fault_plans)
+    if plans:
+        FaultInjector(*plans).__enter__()  # active for worker lifetime
+    registry = ModelRegistry(ctx.registry_root)
+    versions = dict(ctx.versions)
+    model_for: dict[str, str] = {graph_id: name
+                                 for graph_id, name in ctx.endpoints}
+    try:
+        service = _build_service(ctx, registry, versions)
+    except ServeError as exc:
+        name = exc.details.get("model", "?")
+        version = exc.details.get("version", "?")
+        conn.send(("start_failed", ctx.index, name, version, str(exc)))
+        conn.close()
+        return
+    conn.send(("started", ctx.index, dict(versions)))
+    inbox: deque = deque()
+    while True:
+        if inbox:
+            message = inbox.popleft()
+        else:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "ping":
+            conn.send(("pong", ctx.index, message[1]))
+            continue
+        if kind == "reload":
+            _, name, version = message
+            candidate = dict(versions)
+            candidate[name] = version
+            try:
+                service = _build_service(ctx, registry, candidate)
+            except ServeError as exc:
+                # The new checkpoint never served a request: the old
+                # service stays installed untouched.
+                conn.send(("reload_failed", ctx.index, name, version,
+                           str(exc)))
+                continue
+            versions = candidate
+            conn.send(("reloaded", ctx.index, name, version))
+            continue
+        if kind != "score":
+            continue  # unknown kinds are ignored, not fatal
+        # Coalesce every contiguous score message already in flight.
+        batch = [message[1]]
+        while conn.poll(0):
+            try:
+                extra = conn.recv()
+            except (EOFError, OSError):
+                break
+            if extra[0] == "score":
+                batch.append(extra[1])
+            else:
+                inbox.append(extra)
+                break
+        accepted = []
+        for payload in batch:
+            try:
+                with fault_scope(payload["unit"]):
+                    stall = maybe_stall(STALL_STAGE)
+                    if stall > 0:
+                        time.sleep(stall)
+                    maybe_inject(FAULT_STAGE)
+                    service.submit(ScoreRequest(
+                        graph_id=payload["graph_id"],
+                        guidance=payload["guidance"],
+                        request_id=payload["id"]))
+            except ServeError as exc:
+                conn.send(("result", ctx.index, {
+                    "id": payload["id"],
+                    "graph_id": payload["graph_id"],
+                    "status": "failed", "metrics": None, "fom": None,
+                    "batch_size": 0, "degraded": False,
+                    "error": str(exc),
+                    "version": versions.get(
+                        model_for.get(payload["graph_id"], ""), None)}))
+                continue
+            accepted.append(payload)
+        if not accepted:
+            continue
+        for result in service.flush():
+            record = result.to_dict()
+            record["version"] = versions.get(
+                model_for.get(result.graph_id, ""), None)
+            conn.send(("result", ctx.index, record))
+    conn.close()

@@ -106,7 +106,7 @@ class TestModelRegistry:
         assert ModelManifest.from_dict(manifest.to_dict()) == manifest
 
     def test_unknown_model_raises(self, registry):
-        with pytest.raises(ServeError, match="no versions"):
+        with pytest.raises(ServeError, match="no servable versions"):
             registry.load("nope")
 
     def test_corrupt_weights_detected(self, fresh_graph, registry):
@@ -147,6 +147,94 @@ class TestModelRegistry:
         path.write_text(json.dumps(data))
         with pytest.raises(ServeError, match=match):
             registry.load_manifest("ota1")
+
+
+# -- registry durability: atomic saves, tolerant listing, quarantine -----------------
+
+
+class TestRegistryDurability:
+    def test_crashed_save_leaves_no_torn_version(self, fresh_graph,
+                                                 registry, monkeypatch):
+        import repro.serve.registry as registry_module
+
+        def explode(model, path):
+            path.write_bytes(b"partial")  # half-written weights
+            raise OSError("disk full")
+
+        monkeypatch.setattr(registry_module, "save_state", explode)
+        with pytest.raises(OSError, match="disk full"):
+            registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        monkeypatch.undo()
+        # The crash is invisible: no version, no staging litter, and the
+        # next save still claims v0001.
+        assert registry.versions("ota1") == []
+        assert registry.all_versions("ota1") == []
+        assert list((registry.root / "ota1").glob(".tmp-*")) == []
+        manifest = registry.save("ota1", small_model(fresh_graph),
+                                 fresh_graph)
+        assert manifest.version == "v0001"
+        registry.load("ota1")
+
+    def test_leftover_staging_is_invisible_and_reclaimed(self, fresh_graph,
+                                                         registry):
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        staging = registry.root / "ota1" / ".tmp-v0002"
+        staging.mkdir()
+        (staging / "weights.npz").write_bytes(b"torn")
+        assert registry.versions("ota1") == ["v0001"]
+        assert registry.latest("ota1") == "v0001"
+        manifest = registry.save("ota1", small_model(fresh_graph),
+                                 fresh_graph)
+        assert manifest.version == "v0002"
+        assert not staging.exists()
+        registry.load("ota1", "v0002")
+
+    def test_bad_manifest_skipped_and_counted(self, fresh_graph, tmp_path):
+        obs = RunContext(run_id="registry-test")
+        registry = ModelRegistry(tmp_path / "registry", obs=obs)
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        manifest = registry.root / "ota1" / "v0001" / "manifest.json"
+        manifest.write_text("{ torn json", encoding="utf-8")
+        # One rotten directory does not take the model offline.
+        assert registry.versions("ota1") == ["v0002"]
+        assert registry.latest("ota1") == "v0002"
+        assert registry.all_versions("ota1") == ["v0001", "v0002"]
+        registry.load("ota1")
+        assert obs.counter_values()[
+            "serve_registry_skipped_total{reason=bad_manifest}"] >= 1
+
+    def test_quarantine_hides_version_from_serving(self, fresh_graph,
+                                                   tmp_path):
+        obs = RunContext(run_id="registry-test")
+        registry = ModelRegistry(tmp_path / "registry", obs=obs)
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        registry.quarantine("ota1", "v0002", reason="failed verification")
+        assert registry.is_quarantined("ota1", "v0002")
+        assert not registry.is_quarantined("ota1", "v0001")
+        assert registry.quarantine_reason("ota1", "v0002") == \
+            "failed verification"
+        assert registry.versions("ota1") == ["v0001"]
+        assert registry.latest("ota1") == "v0001"
+        # The artifact stays on disk for postmortem.
+        assert registry.all_versions("ota1") == ["v0001", "v0002"]
+        counters = obs.counter_values()
+        assert counters["serve_quarantine_total{model=ota1}"] == 1
+        assert counters[
+            "serve_registry_skipped_total{reason=quarantined}"] >= 1
+
+    def test_quarantining_everything_raises_servable_error(
+            self, fresh_graph, registry):
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        registry.quarantine("ota1", "v0001", reason="bad")
+        with pytest.raises(ServeError, match="no servable versions"):
+            registry.latest("ota1")
+
+    def test_quarantine_unknown_version_raises(self, fresh_graph, registry):
+        registry.save("ota1", small_model(fresh_graph), fresh_graph)
+        with pytest.raises(ServeError, match="no such version"):
+            registry.quarantine("ota1", "v0009", reason="bad")
 
 
 # -- service scoring ------------------------------------------------------------------

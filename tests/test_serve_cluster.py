@@ -1,0 +1,228 @@
+"""Fault-tolerant serving cluster, end to end with real processes.
+
+The contracts under test (see ``docs/SERVING.md``):
+
+* **parity** — with no injected faults, cluster results are
+  bit-identical (< 1e-10) to a single-process :class:`ScoringService`
+  for any worker count;
+* **at-least-once** — SIGKILLing a worker mid-load loses no
+  acknowledged request: stranded work is re-dispatched and every
+  request reaches exactly one terminal outcome;
+* **deadlines** — a stalled forward times out with a typed
+  :class:`ServeTimeoutError`, the hung worker is detected and killed,
+  and the pool keeps serving;
+* **rollover** — a corrupt new version is quarantined and rolled back
+  mid-serving (zero downtime); a clean rollover serves the new version;
+  a corrupt *latest* at start time falls back to the previous good one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.graph import build_hetero_graph
+from repro.model.gnn3d import Gnn3d, Gnn3dConfig
+from repro.reliability import FaultPlan, ServeError, ServeTimeoutError
+from repro.router import RoutingGrid
+from repro.serve import (
+    ClusterConfig,
+    ModelRegistry,
+    ScoringService,
+    ServeCluster,
+    ServeConfig,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def small_model(graph, seed: int = 3) -> Gnn3d:
+    return Gnn3d(graph.ap_features.shape[1], graph.module_features.shape[1],
+                 Gnn3dConfig(hidden=8, num_layers=1, rbf_centers=4,
+                             seed=seed))
+
+
+def guidance_stream(graph, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(0.5, 2.0, size=(graph.num_aps, 3))
+            for _ in range(n)]
+
+
+def tamper(registry: ModelRegistry, name: str, version: str) -> None:
+    weights = registry.root / name / version / "weights.npz"
+    weights.write_bytes(weights.read_bytes()[:-16] + b"test-corruption!")
+
+
+@pytest.fixture(scope="module")
+def serve_graph(ota1_placement, tech):
+    return build_hetero_graph(RoutingGrid(ota1_placement, tech))
+
+
+@pytest.fixture()
+def registry(tmp_path, serve_graph):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save("ota1", small_model(serve_graph), serve_graph)
+    return registry
+
+
+def make_cluster(registry, serve_graph, **overrides) -> ServeCluster:
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("serve", ServeConfig(max_batch=4, max_queue=64))
+    fault_plans = overrides.pop("fault_plans", None)
+    cluster = ServeCluster(registry, ClusterConfig(**overrides),
+                           fault_plans=fault_plans)
+    cluster.add_endpoint("ota1", "ota1", serve_graph)
+    return cluster
+
+
+# -- parity ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_cluster_matches_single_service_bit_identical(
+        registry, serve_graph, workers):
+    stream = guidance_stream(serve_graph, 5)
+    service = ScoringService(ServeConfig(max_batch=4, max_queue=64))
+    service.register_checkpoint("ota1", registry, "ota1", serve_graph)
+    want = [service.score("ota1", guidance) for guidance in stream]
+
+    with make_cluster(registry, serve_graph, workers=workers) as cluster:
+        got = [cluster.score("ota1", guidance) for guidance in stream]
+
+    for single, clustered in zip(want, got):
+        assert clustered.status == "ok"
+        assert clustered.version == "v0001"
+        assert 0 <= clustered.worker < workers
+        np.testing.assert_allclose(clustered.metrics, single.metrics,
+                                   rtol=0.0, atol=1e-10)
+        assert abs(clustered.fom - single.fom) < 1e-10
+
+
+# -- kill / re-dispatch ---------------------------------------------------------------
+
+
+def test_worker_kill_loses_no_acknowledged_request(registry, serve_graph):
+    stream = guidance_stream(serve_graph, 12)
+    with make_cluster(registry, serve_graph, workers=2) as cluster:
+        for index, guidance in enumerate(stream):
+            if index == 6:
+                cluster.kill_worker(0)
+            cluster.submit("ota1", guidance, request_id=f"req-{index}")
+        results = cluster.drain()
+        # Drain can finish on the surviving worker before the killed
+        # slot reports started; pump until the recovery is recorded.
+        deadline = time.perf_counter() + 30.0
+        while not cluster.recovery_times() \
+                and time.perf_counter() < deadline:
+            cluster.pump()
+        stats = cluster.stats
+        recoveries = cluster.recovery_times()
+
+    assert [r.request_id for r in results] == \
+        [f"req-{i}" for i in range(12)]
+    assert all(r.status == "ok" for r in results)
+    assert stats.submitted == 12
+    assert stats.accounted() == 12
+    assert stats.ok == 12
+    assert stats.restarts >= 1
+    assert len(recoveries) >= 1 and all(t > 0 for t in recoveries)
+
+
+# -- deadlines / hung-worker detection ------------------------------------------------
+
+
+def test_stalled_forward_times_out_typed_and_pool_recovers(
+        registry, serve_graph):
+    stall = FaultPlan(stage="serve_stall", fail_units=frozenset({0}),
+                      stall_seconds=30.0)
+    with make_cluster(registry, serve_graph, workers=1,
+                      hang_grace_s=0.2, fault_plans=(stall,),
+                      restart_backoff_base_s=0.02) as cluster:
+        guidance = guidance_stream(serve_graph, 1)[0]
+        with pytest.raises(ServeTimeoutError, match="deadline exceeded"):
+            cluster.score("ota1", guidance, deadline_s=0.5)
+        # The pool recovered: the next request (a different unit, so no
+        # stall) serves normally on the respawned worker.
+        result = cluster.score("ota1", guidance, deadline_s=30.0)
+        stats = cluster.stats
+
+    assert result.status == "ok"
+    assert stats.timeout == 1
+    assert stats.hung_kills >= 1
+    assert stats.restarts >= 1
+    assert stats.accounted() == stats.submitted == 2
+
+
+# -- rollover -------------------------------------------------------------------------
+
+
+def test_corrupt_rollover_quarantines_rolls_back_then_clean_serves(
+        registry, serve_graph):
+    stream = guidance_stream(serve_graph, 4)
+    with make_cluster(registry, serve_graph, workers=2) as cluster:
+        assert cluster.score("ota1", stream[0]).version == "v0001"
+
+        bad = registry.save("ota1", small_model(serve_graph, seed=9),
+                            serve_graph)
+        tamper(registry, "ota1", bad.version)
+        outcome = cluster.rollover("ota1")
+        assert not outcome.ok
+        assert outcome.quarantined == bad.version
+        # The first worker rejected before any slot switched, so there
+        # was no switched worker to roll back — the version map itself
+        # rolls back below.
+        assert not outcome.rolled_back
+        assert cluster.versions["ota1"] == "v0001"
+        assert registry.is_quarantined("ota1", bad.version)
+        assert registry.latest("ota1") == "v0001"
+        # Zero downtime: still serving the rolled-back version.
+        assert cluster.score("ota1", stream[1]).version == "v0001"
+
+        good = registry.save("ota1", small_model(serve_graph, seed=11),
+                             serve_graph)
+        outcome = cluster.rollover("ota1")
+        assert outcome.ok
+        assert outcome.to_version == good.version
+        assert cluster.score("ota1", stream[2]).version == good.version
+        stats = cluster.stats
+
+    assert stats.rollovers >= 1
+    assert stats.rollbacks >= 1
+
+
+def test_start_quarantines_corrupt_latest_and_falls_back(
+        registry, serve_graph):
+    bad = registry.save("ota1", small_model(serve_graph, seed=9),
+                        serve_graph)
+    tamper(registry, "ota1", bad.version)
+    with make_cluster(registry, serve_graph, workers=1) as cluster:
+        assert cluster.versions["ota1"] == "v0001"
+        result = cluster.score("ota1", guidance_stream(serve_graph, 1)[0])
+        assert result.status == "ok"
+        assert result.version == "v0001"
+    assert registry.is_quarantined("ota1", bad.version)
+
+
+# -- admission validation -------------------------------------------------------------
+
+
+def test_invalid_submissions_reject_before_acknowledgement(
+        registry, serve_graph):
+    guidance = guidance_stream(serve_graph, 1)[0]
+    with make_cluster(registry, serve_graph, workers=1) as cluster:
+        with pytest.raises(ServeError, match="unknown graph_id"):
+            cluster.submit("nope", guidance)
+        with pytest.raises(ServeError, match="guidance shape"):
+            cluster.submit("ota1", guidance[:-1])
+        bad = guidance.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ServeError, match="non-finite"):
+            cluster.submit("ota1", bad)
+        stats = cluster.stats
+        assert cluster.outstanding() == 0
+
+    assert stats.submitted == 3
+    assert stats.rejected == 3
+    assert stats.accounted() == 3
