@@ -26,10 +26,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
 
 from repro import AnalogFold, build_benchmark, generic_40nm, place_benchmark
 from repro.core import PotentialFunction, PotentialRelaxer, RelaxationConfig
@@ -40,8 +43,134 @@ from repro.perf.timing import (
     load_bench_json,
     write_bench_json,
 )
+from repro.router import IterativeRouter, RoutingGrid
+from repro.router.guidance import RoutingGuidance, random_guidance
+from repro.router.iterative import RouterConfig
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+#: Circuits of the router benchmark (every built-in OTA).
+ROUTE_CIRCUITS = ("OTA1", "OTA2", "OTA3")
+
+#: Timed repetitions per router scenario (best-of, interleaved).
+ROUTE_REPEATS = 3
+
+#: Gates for the ``route`` section under ``--check``.  The neutral
+#: scenarios exercise the bucketed (dial) queue — the tentpole engine —
+#: and must clear 3x over the in-run reference router; continuous
+#: random-guidance scenarios fall back to the scalar heap engine, whose
+#: floor is lower.  Both are in-run comparisons, so the gate does not
+#: depend on runner speed.
+ROUTE_MIN_SPEEDUP_NEUTRAL = 3.0
+ROUTE_MIN_SPEEDUP_GUIDED = 1.5
+
+
+def _route_once(placement, tech, guidance_seed, engine: str,
+                workers: int = 0):
+    """One timed ``route_all`` on a fresh grid; returns (dt, paths, exp)."""
+    grid = RoutingGrid(placement, tech)
+    if guidance_seed is None:
+        guidance = RoutingGuidance()
+    else:
+        rng = np.random.default_rng(guidance_seed)
+        keys = [ap.key for aps in grid.access_points.values() for ap in aps]
+        guidance = random_guidance(keys, rng)
+    router = IterativeRouter(
+        grid, guidance, RouterConfig(engine=engine, workers=workers))
+    start = time.perf_counter()
+    result = router.route_all()
+    elapsed = time.perf_counter() - start
+    paths = {name: tuple(tuple(path) for path in route.paths)
+             for name, route in result.routes.items()}
+    return elapsed, paths, router.astar.expansions_total
+
+
+def measure_route(workers: int = 2) -> dict:
+    """Router benchmark: in-run reference vs. new engines on every OTA.
+
+    Each scenario routes the same placement with the seed (reference)
+    router and the new auto engine (bucketed dial queue on neutral
+    guidance, scalar heap fallback on continuous guidance), then once
+    more with speculative net-parallel workers.  Identity of routed
+    paths across all three is part of the record (and the CI gate).
+    """
+    tech = generic_40nm()
+    scenarios: dict[str, dict] = {}
+    totals = {"neutral": [0.0, 0.0], "guided": [0.0, 0.0]}
+    identical = True
+    for circuit_name in ROUTE_CIRCUITS:
+        circuit = build_benchmark(circuit_name)
+        placement = place_benchmark(circuit, variant="A", seed=0,
+                                    iterations=200)
+        for label, seed in (("neutral", None), ("guided", 7)):
+            # Interleave reference/auto trials so slow drift on the
+            # runner (thermal, background load) biases neither side.
+            ref_t, ref_paths, ref_exp = _route_once(
+                placement, tech, seed, "reference")
+            new_t, new_paths, new_exp = _route_once(
+                placement, tech, seed, "auto")
+            for _ in range(ROUTE_REPEATS - 1):
+                ref_t = min(ref_t, _route_once(
+                    placement, tech, seed, "reference")[0])
+                new_t = min(new_t, _route_once(
+                    placement, tech, seed, "auto")[0])
+            par_t, par_paths, _ = _route_once(
+                placement, tech, seed, "auto", workers=workers)
+            nets = max(len(ref_paths), 1)
+            same = (new_paths == ref_paths and par_paths == ref_paths
+                    and new_exp == ref_exp)
+            identical = identical and same
+            totals[label][0] += ref_t
+            totals[label][1] += new_t
+            scenarios[f"{circuit_name}.{label}"] = {
+                "reference_seconds": round(ref_t, 4),
+                "auto_seconds": round(new_t, 4),
+                "workers_seconds": round(par_t, 4),
+                "speedup": round(ref_t / new_t, 2),
+                "expansions": new_exp,
+                "expansions_per_sec": round(new_exp / new_t),
+                "per_net_route_seconds": round(new_t / nets, 5),
+                "paths_identical": same,
+            }
+    return {
+        "scenarios": scenarios,
+        "speedup": {
+            "neutral": round(totals["neutral"][0] / totals["neutral"][1], 2),
+            "guided": round(totals["guided"][0] / totals["guided"][1], 2),
+        },
+        "paths_identical": identical,
+        "workers_checked": workers,
+        "repeats": ROUTE_REPEATS,
+    }
+
+
+def check_route(route: dict, baseline: dict | None) -> list[str]:
+    """Route-section gates: in-run speedups and path identity."""
+    problems: list[str] = []
+    speedup = route.get("speedup", {})
+    neutral = float(speedup.get("neutral", 0.0))
+    guided = float(speedup.get("guided", 0.0))
+    if neutral < ROUTE_MIN_SPEEDUP_NEUTRAL:
+        problems.append(
+            f"route speedup (neutral/bucketed) {neutral:.2f}x below the "
+            f"{ROUTE_MIN_SPEEDUP_NEUTRAL:.1f}x gate")
+    if guided < ROUTE_MIN_SPEEDUP_GUIDED:
+        problems.append(
+            f"route speedup (guided/scalar) {guided:.2f}x below the "
+            f"{ROUTE_MIN_SPEEDUP_GUIDED:.1f}x gate")
+    if not route.get("paths_identical", False):
+        bad = [name for name, s in route.get("scenarios", {}).items()
+               if not s.get("paths_identical", False)]
+        problems.append(f"routed paths differ from the reference router "
+                        f"in: {', '.join(bad) or 'unknown'}")
+    if baseline is not None and "route" in baseline:
+        base_route = float(
+            baseline["route"].get("speedup", {}).get("neutral", 0.0))
+        if base_route and neutral < base_route / 1.5:
+            problems.append(
+                f"route speedup (neutral) fell {base_route:.2f}x -> "
+                f"{neutral:.2f}x vs committed baseline")
+    return problems
 
 
 def measure(scale_name: str, workers: int = 1) -> dict:
@@ -108,16 +237,24 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=str(DEFAULT_OUT),
                         help="committed baseline to compare against")
     parser.add_argument("--check", action="store_true",
-                        help="fail when a stage regressed > 3x vs baseline")
+                        help="fail when a stage regressed > 3x vs baseline "
+                             "or a route gate fails")
+    parser.add_argument("--route-workers", type=int, default=2,
+                        help="worker count for the net-parallel identity "
+                             "check of the route section")
     args = parser.parse_args(argv)
 
     payload = measure(args.scale, workers=args.workers)
+    payload["route"] = measure_route(workers=args.route_workers)
 
-    # The serve-throughput record (benchmarks/bench_serve.py) shares this
-    # file; carry its section over instead of dropping it on rewrite.
+    # The serve-throughput (benchmarks/bench_serve.py) and chaos
+    # (benchmarks/bench_chaos.py) records share this file; carry their
+    # sections over instead of dropping them on rewrite.
     existing = load_bench_json(args.out)
-    if existing is not None and "serve" in existing:
-        payload["serve"] = existing["serve"]
+    if existing is not None:
+        for section in ("serve", "chaos"):
+            if section in existing:
+                payload[section] = existing[section]
 
     problems: list[str] = []
     if args.check:
@@ -130,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{payload.get('scale')!r}; skipping regression check")
         else:
             problems = compare_to_baseline(payload, baseline)
+        problems += check_route(payload["route"], baseline)
 
     out = write_bench_json(args.out, payload)
     print(f"wrote {out}")
@@ -138,6 +276,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  relaxation forwards: {payload['relax_forwards_serial']} serial "
           f"-> {payload['relax_forwards_batched']} batched "
           f"({payload['relax_forward_reduction']}x fewer)")
+    route = payload["route"]
+    print(f"  route: {route['speedup']['neutral']}x neutral / "
+          f"{route['speedup']['guided']}x guided vs in-run reference, "
+          f"paths_identical={route['paths_identical']}")
 
     if problems:
         print("PERF REGRESSION:")

@@ -136,6 +136,8 @@ class TestGoldenSchemas:
         counters = traced_run["manifest"]["counters"]
         assert set(counters) == {
             "astar_expansions",
+            "route_expansions_total{mode=bucketed}",
+            "route_expansions_total{mode=scalar}",
             "samples_requested",
             "samples_resampled",
             "samples_reused",
