@@ -3,8 +3,10 @@
 Runs the AnalogFold pipeline on OTA1 at the selected ``REPRO_SCALE`` (or
 ``--scale``) with the pipeline's own :class:`repro.perf.timing.StageTimer`
 instrumentation, then records per-stage wall time (route / extract /
-simulate / train / relax, plus calls) and the batched-relaxation forward
-reduction into ``BENCH_perf.json`` at the repo root.
+simulate / train / relax, plus calls), the batched-relaxation forward
+reduction, and a forward-scaling sweep (per-candidate ``forward_batch``
+time vs batch size, float64 and float32, with the blocked-parity
+contract numbers) into ``BENCH_perf.json`` at the repo root.
 
 Expected shape: the route stage dominates database construction, train
 dominates total time at representative scales, and batched relaxation
@@ -37,6 +39,9 @@ import numpy as np
 from repro import AnalogFold, build_benchmark, generic_40nm, place_benchmark
 from repro.core import PotentialFunction, PotentialRelaxer, RelaxationConfig
 from repro.eval.compare import SCALES
+from repro.graph import build_hetero_graph
+from repro.model.gnn3d import Gnn3d
+from repro.nn import Tensor
 from repro.perf.timing import (
     bench_payload,
     compare_to_baseline,
@@ -46,6 +51,7 @@ from repro.perf.timing import (
 from repro.router import IterativeRouter, RoutingGrid
 from repro.router.guidance import RoutingGuidance, random_guidance
 from repro.router.iterative import RouterConfig
+from repro.serve import FLOAT32_PARITY_RTOL
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
 
@@ -63,6 +69,18 @@ ROUTE_REPEATS = 3
 #: depend on runner speed.
 ROUTE_MIN_SPEEDUP_NEUTRAL = 3.0
 ROUTE_MIN_SPEEDUP_GUIDED = 1.5
+
+#: Batch sizes of the forward-scaling sweep (``forward`` section).
+FORWARD_BATCHES = (1, 2, 4, 8, 16)
+
+#: Timed repetitions per (batch, dtype) point, best-of.
+FORWARD_REPEATS = 5
+
+#: Gate: per-candidate time at the largest swept batch must amortize to
+#: at most this fraction of the unbatched (B=1) per-candidate time.
+#: The observed amortization is far stronger; 0.9 only asserts that
+#: cache-blocked batching keeps paying off at all past forward_block.
+FORWARD_MAX_AMORTIZED_RATIO = 0.9
 
 
 def _route_once(placement, tech, guidance_seed, engine: str,
@@ -173,6 +191,99 @@ def check_route(route: dict, baseline: dict | None) -> list[str]:
     return problems
 
 
+def measure_forward() -> dict:
+    """Forward-scaling benchmark: per-candidate time vs batch size.
+
+    Times the cache-blocked union forward (``Gnn3d.forward_batch``) on
+    OTA1 across :data:`FORWARD_BATCHES` in both execution dtypes, and
+    records the parity numbers the serving contract promises: float64
+    blocked output vs the unbatched seed forward (< 1e-10) and float32
+    vs float64 (relative, gated at ``FLOAT32_PARITY_RTOL``).
+    """
+    circuit = build_benchmark("OTA1")
+    placement = place_benchmark(circuit, variant="A", seed=0, iterations=150)
+    graph = build_hetero_graph(RoutingGrid(placement, generic_40nm()))
+    ap_dim = graph.ap_features.shape[1]
+    mod_dim = graph.module_features.shape[1]
+    model64 = Gnn3d(ap_dim, mod_dim)
+    model32 = Gnn3d(ap_dim, mod_dim).to_dtype(np.float32)
+
+    rng = np.random.default_rng(0)
+    batch_max = max(FORWARD_BATCHES)
+    pool = rng.uniform(0.5, 2.0, size=(batch_max, graph.num_aps, 3))
+
+    per_candidate: dict[str, dict[str, float]] = {
+        "float64": {}, "float32": {}}
+    for dtype_name, model in (("float64", model64), ("float32", model32)):
+        for batch in FORWARD_BATCHES:
+            guidance = Tensor(pool[:batch].astype(dtype_name))
+            model.forward_batch(graph, guidance)  # warm the plan cache
+            best = float("inf")
+            for _ in range(FORWARD_REPEATS):
+                start = time.perf_counter()
+                model.forward_batch(graph, guidance)
+                best = min(best, time.perf_counter() - start)
+            per_candidate[dtype_name][str(batch)] = round(
+                best / batch * 1e3, 4)
+
+    # Parity at the largest batch: blocked vs unbatched seed forward.
+    blocked = model64.forward_batch(graph, Tensor(pool)).numpy()
+    unbatched = np.stack([model64(graph, Tensor(g)).numpy() for g in pool])
+    f64_abs = float(np.abs(blocked - unbatched).max())
+    out32 = model32.forward_batch(
+        graph, Tensor(pool.astype(np.float32))).numpy()
+    f32_rel = float((np.abs(out32 - blocked)
+                     / np.maximum(1.0, np.abs(blocked))).max())
+
+    b1 = per_candidate["float64"][str(FORWARD_BATCHES[0])]
+    b_max = per_candidate["float64"][str(batch_max)]
+    return {
+        "circuit": "OTA1",
+        "batch_sweep": list(FORWARD_BATCHES),
+        "per_candidate_ms": per_candidate,
+        "amortized_ratio": round(b_max / b1, 3),
+        "float64_blocked_vs_unbatched_max_abs": f64_abs,
+        "float32_vs_float64_max_rel": f32_rel,
+        "float32_parity_rtol": FLOAT32_PARITY_RTOL,
+        "repeats": FORWARD_REPEATS,
+    }
+
+
+def check_forward(forward: dict, baseline: dict | None,
+                  max_ratio: float = 3.0) -> list[str]:
+    """Forward-section gates: parity contracts plus amortization."""
+    problems: list[str] = []
+    if forward["float64_blocked_vs_unbatched_max_abs"] >= 1e-10:
+        problems.append(
+            f"float64 blocked forward differs from the unbatched seed "
+            f"forward by {forward['float64_blocked_vs_unbatched_max_abs']:g} "
+            f"(contract: < 1e-10)")
+    if forward["float32_vs_float64_max_rel"] >= FLOAT32_PARITY_RTOL:
+        problems.append(
+            f"float32 forward off by "
+            f"{forward['float32_vs_float64_max_rel']:g} relative "
+            f"(contract: < {FLOAT32_PARITY_RTOL:g})")
+    if forward["amortized_ratio"] > FORWARD_MAX_AMORTIZED_RATIO:
+        sweep = forward["batch_sweep"]
+        problems.append(
+            f"batching stopped amortizing: per-candidate time at "
+            f"B={sweep[-1]} is {forward['amortized_ratio']}x B=1 "
+            f"(gate: <= {FORWARD_MAX_AMORTIZED_RATIO})")
+    if baseline is None or "forward" not in baseline:
+        return problems
+    base = baseline["forward"].get("per_candidate_ms", {})
+    for dtype_name, points in base.items():
+        for key, base_ms in points.items():
+            cur_ms = forward["per_candidate_ms"].get(
+                dtype_name, {}).get(key)
+            if cur_ms is not None and cur_ms > float(base_ms) * max_ratio:
+                problems.append(
+                    f"forward {dtype_name} B={key} regressed "
+                    f"{cur_ms / float(base_ms):.1f}x ({base_ms} -> "
+                    f"{cur_ms} ms/candidate, limit {max_ratio:.1f}x)")
+    return problems
+
+
 def measure(scale_name: str, workers: int = 1) -> dict:
     """Run the instrumented pipeline and return the perf payload."""
     scale = SCALES[scale_name]
@@ -246,6 +357,7 @@ def main(argv: list[str] | None = None) -> int:
 
     payload = measure(args.scale, workers=args.workers)
     payload["route"] = measure_route(workers=args.route_workers)
+    payload["forward"] = measure_forward()
 
     # The serve-throughput (benchmarks/bench_serve.py) and chaos
     # (benchmarks/bench_chaos.py) records share this file; carry their
@@ -268,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         else:
             problems = compare_to_baseline(payload, baseline)
         problems += check_route(payload["route"], baseline)
+        problems += check_forward(payload["forward"], baseline)
 
     out = write_bench_json(args.out, payload)
     print(f"wrote {out}")
@@ -280,6 +393,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  route: {route['speedup']['neutral']}x neutral / "
           f"{route['speedup']['guided']}x guided vs in-run reference, "
           f"paths_identical={route['paths_identical']}")
+    fwd = payload["forward"]
+    print(f"  forward: B={fwd['batch_sweep'][-1]} amortizes to "
+          f"{fwd['amortized_ratio']}x the B=1 per-candidate time "
+          f"(f64 parity {fwd['float64_blocked_vs_unbatched_max_abs']:.1e}, "
+          f"f32 rel {fwd['float32_vs_float64_max_rel']:.1e})")
 
     if problems:
         print("PERF REGRESSION:")

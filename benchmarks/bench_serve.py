@@ -3,15 +3,17 @@
 Scores a fixed stream of guidance candidates on OTA1 through a real
 :class:`repro.serve.ModelRegistry` checkpoint and the
 :class:`repro.serve.ScoringService`, sweeping ``max_batch`` over
-1 / 2 / 4 / 8, and records throughput into the ``serve`` section of
-``BENCH_perf.json`` (the rest of the file — the pipeline stages written
-by ``bench_perf.py`` — is preserved).
+1 / 2 / 4 / 8 / 16 / 32, and records throughput into the ``serve``
+section of ``BENCH_perf.json`` (the rest of the file — the pipeline
+stages written by ``bench_perf.py`` — is preserved).
 
-Expected shape: throughput rises monotonically with ``max_batch``.  Up
-to ``forward_block`` candidates the gain comes from the union forward
-amortizing per-forward Python and small-array overhead; beyond it the
-service caps forwards at the cache-efficient block size and the gain
-comes from coalescing per-wave dispatch overhead over more requests.
+Expected shape: throughput rises monotonically with ``max_batch``.
+The union forward amortizes per-forward Python and small-array
+overhead, and since the model cache-blocks the union internally
+(``DEFAULT_CACHE_BLOCK`` replicas per pass, working set held under
+L2), larger waves keep paying off rather than thrashing the cache;
+``forward_block`` merely caps the dispatch wave the service hands the
+model at once.
 
 Standalone usage (no pytest required)::
 
@@ -19,9 +21,11 @@ Standalone usage (no pytest required)::
 
 ``--check`` fails (a) when any swept throughput drops below 1/3 of the
 committed baseline's (CI's 3x gate, mirroring the stage-time gate of
-``bench_perf.py``) and (b) when ``max_batch=8`` fails to beat
-``max_batch=1`` — the monotone batching win the serving layer exists
-for.
+``bench_perf.py``), (b) when the sweep is not monotone within
+``MONOTONE_TOLERANCE`` (each step must retain at least ``1 - tol`` of
+its predecessor's throughput), and (c) when the largest batch fails to
+beat ``max_batch=1`` outright — the batching win the serving layer
+exists for.
 """
 
 from __future__ import annotations
@@ -51,12 +55,20 @@ from repro.serve import (
 )
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
-BATCH_SWEEP = (1, 2, 4, 8)
+BATCH_SWEEP = (1, 2, 4, 8, 16, 32)
 NUM_CANDIDATES = 64
-# Best-of-N over the interleaved sweep.  The 4-vs-8 gap is only a few
-# percent, so the min needs this many samples to converge past
+# Best-of-N over the interleaved sweep.  Adjacent steps differ by only
+# a few percent, so the min needs this many samples to converge past
 # scheduler noise on a 1-vCPU runner; a full sweep pass costs ~0.5 s.
-REPEATS = 15
+REPEATS = 25
+# Each sweep step must retain at least (1 - tol) of its predecessor's
+# throughput.  The curve is genuinely flat past forward_block (profiled
+# per-candidate cost is identical — the model cache-blocks internally),
+# so adjacent steps sit within measurement noise of each other; a
+# strict >= would flake.  12% clears the observed best-of-N jitter on
+# a noisy shared runner while still catching a real cliff (e.g. cache
+# thrash past forward_block).
+MONOTONE_TOLERANCE = 0.12
 
 
 def measure(candidates: int = NUM_CANDIDATES,
@@ -75,11 +87,17 @@ def measure(candidates: int = NUM_CANDIDATES,
     with tempfile.TemporaryDirectory() as tmp:
         registry = ModelRegistry(tmp)
         registry.save("ota1", model, graph)
+        # One checkpoint-loaded model shared by every swept service:
+        # scoring is tape-free (read-only), and separate model copies
+        # would give each sweep point its own allocation-layout luck —
+        # a systematic per-point offset that best-of-N cannot average
+        # away and that the monotone gate would misread as a cliff.
+        served, _ = registry.load("ota1", graph=graph)
         services = {}
         for max_batch in BATCH_SWEEP:
             service = ScoringService(ServeConfig(max_batch=max_batch,
                                                  max_queue=candidates))
-            service.register_checkpoint("ota1", registry, "ota1", graph)
+            service.register("ota1", served, graph)
             # Warm the union-plan cache so steady-state is measured.
             list(service.score_stream(
                 ScoreRequest("ota1", g) for g in stream[:max_batch]))
@@ -97,24 +115,37 @@ def measure(candidates: int = NUM_CANDIDATES,
                 best[max_batch] = min(best[max_batch], elapsed)
     throughput = {str(b): round(candidates / t, 2) for b, t in best.items()}
 
-    t1, t8 = throughput[str(BATCH_SWEEP[0])], throughput[str(BATCH_SWEEP[-1])]
+    t1 = throughput[str(BATCH_SWEEP[0])]
+    t_max = throughput[str(BATCH_SWEEP[-1])]
     return {
         "candidates": candidates,
         "circuit": "OTA1",
         "max_batch_sweep": list(BATCH_SWEEP),
         "throughput_per_sec": throughput,
-        "speedup_batch8_vs_1": round(t8 / t1, 2),
+        "speedup_max_vs_1": round(t_max / t1, 2),
     }
 
 
 def check(current: dict, baseline: dict | None,
-          max_ratio: float = 3.0) -> list[str]:
-    """3x throughput-regression gate plus the monotone-gain invariant."""
+          max_ratio: float = 3.0,
+          tolerance: float = MONOTONE_TOLERANCE) -> list[str]:
+    """3x regression gate plus the monotone-throughput invariant."""
     problems: list[str] = []
-    if current["speedup_batch8_vs_1"] <= 1.0:
+    if current["speedup_max_vs_1"] <= 1.0:
+        sweep = current["max_batch_sweep"]
         problems.append(
-            f"no batching win: max_batch=8 is "
-            f"{current['speedup_batch8_vs_1']}x max_batch=1 (need > 1x)")
+            f"no batching win: max_batch={sweep[-1]} is "
+            f"{current['speedup_max_vs_1']}x max_batch=1 (need > 1x)")
+    tp = current["throughput_per_sec"]
+    sweep = current["max_batch_sweep"]
+    for prev, nxt in zip(sweep, sweep[1:]):
+        tp_prev, tp_next = float(tp[str(prev)]), float(tp[str(nxt)])
+        if tp_next < tp_prev * (1.0 - tolerance):
+            problems.append(
+                f"throughput not monotone: max_batch={nxt} "
+                f"({tp_next} candidates/s) dropped more than "
+                f"{tolerance:.0%} below max_batch={prev} "
+                f"({tp_prev} candidates/s)")
     if baseline is None:
         return problems
     base = baseline.get("throughput_per_sec", {})
@@ -138,8 +169,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--baseline", default=str(DEFAULT_OUT),
                         help="committed record to compare against")
     parser.add_argument("--check", action="store_true",
-                        help="fail on >3x throughput regression or a "
-                             "non-monotone batching win")
+                        help="fail on >3x throughput regression, a "
+                             "non-monotone sweep, or no batching win")
     args = parser.parse_args(argv)
 
     baseline_serve = None
@@ -163,7 +194,8 @@ def main(argv: list[str] | None = None) -> int:
     for key in serve["throughput_per_sec"]:
         print(f"  max_batch={key}: "
               f"{serve['throughput_per_sec'][key]} candidates/s")
-    print(f"  speedup 8 vs 1: {serve['speedup_batch8_vs_1']}x")
+    print(f"  speedup {serve['max_batch_sweep'][-1]} vs 1: "
+          f"{serve['speedup_max_vs_1']}x")
 
     if problems:
         print("SERVE PERF REGRESSION:")

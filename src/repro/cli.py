@@ -40,6 +40,7 @@ from repro import (
 from repro.graph import build_hetero_graph
 from repro.serve import (
     DEFAULT_FORWARD_BLOCK,
+    PRECISIONS,
     ClusterConfig,
     ModelRegistry,
     ScoreRequest,
@@ -206,9 +207,10 @@ def _cmd_serve_save(args: argparse.Namespace) -> int:
         model = Gnn3d(graph.ap_features.shape[1],
                       graph.module_features.shape[1],
                       Gnn3dConfig(seed=args.seed))
-    manifest = registry.save(name, model, graph)
+    manifest = registry.save(name, model, graph, precision=args.precision)
     print(f"saved {manifest.name}@{manifest.version} to {args.registry} "
           f"(fingerprint {manifest.graph_fingerprint[-1][:12]}, "
+          f"{manifest.precision}, "
           f"{'trained' if args.samples else 'seed-initialized'})")
     return 0
 
@@ -428,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "seed-initialized model)")
     p_ssave.add_argument("--epochs", type=int, default=20,
                          help="training epochs when --samples > 0")
+    p_ssave.add_argument("--precision", choices=list(PRECISIONS),
+                         default=PRECISIONS[0],
+                         help="serving execution dtype stamped into the "
+                              "manifest (weights persist float64; "
+                              "float32 casts on load)")
     p_ssave.set_defaults(func=_cmd_serve_save)
 
     p_score = sub.add_parser(

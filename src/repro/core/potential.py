@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.graph.hetero import HeteroGraph
 from repro.model.gnn3d import Gnn3d
-from repro.nn import Tensor
+from repro.nn import Tensor, no_grad
 from repro.reliability.errors import RelaxationError
 from repro.simulation.metrics import FoMWeights
 
@@ -156,7 +156,10 @@ class PotentialFunction:
         self.stats.forwards += 1
         c = Tensor(c_safe.reshape(batch, self.graph.num_aps, 3),
                    requires_grad=True)
-        pred = self.model(self.graph, c)  # (B, num_metrics)
+        # Explicitly the cache-blocked batched forward: relaxation waves
+        # (pool sizes 6/12 by default) ride the same per-(graph, B)
+        # union plans the scoring service uses.
+        pred = self.model.forward_batch(self.graph, c)  # (B, num_metrics)
         fom = (pred * Tensor(np.tile(self._w_signed, (batch, 1)))).sum(axis=1)
         flat = c.reshape(batch, self.num_variables)
         barrier = (flat.log()
@@ -189,4 +192,5 @@ class PotentialFunction:
     def predicted_metrics(self, c_flat: np.ndarray) -> np.ndarray:
         """Normalized metric predictions at a guidance point (no grad)."""
         c = Tensor(np.asarray(c_flat, dtype=float).reshape(self.graph.num_aps, 3))
-        return self.model(self.graph, c).numpy()
+        with no_grad():
+            return self.model(self.graph, c).numpy()

@@ -18,8 +18,35 @@ import numpy as np
 
 from repro.graph.hetero import EdgeType, HeteroGraph
 from repro.model.heads import NUM_METRICS, ReadoutHead
-from repro.nn import MLP, Module, RBFExpansion, Tensor, concat, segment_sum
-from repro.perf.cache import BatchedStatics, ForwardCacheStore, GraphStatics
+from repro.nn import (
+    MLP,
+    Module,
+    RBFExpansion,
+    Tensor,
+    concat,
+    segment_sum,
+    segment_sum_csr,
+)
+from repro.perf.cache import (
+    BatchedStatics,
+    ForwardCacheStore,
+    GraphStatics,
+    UnionBlockPlan,
+)
+
+#: Default cache-block size of the blocked batched forward: replicas per
+#: union processed before moving to the next block.  Per-candidate cost
+#: of a single big union is flat only while its per-op temporaries stay
+#: cache- and heap-resident: past ~2 OTA-sized replicas the message
+#: arrays cross the allocator's mmap threshold (~128 KiB), so every
+#: temporary costs page faults instead of heap reuse, and they start
+#: spilling L2 well before amortization can compensate.  Blocking runs
+#: the full RBF -> message -> segment-sum pass per 2-replica block
+#: instead, bounding the working set regardless of ``B``; the
+#: throughput sweep in ``benchmarks/bench_serve.py`` is monotone in
+#: ``max_batch`` with this setting (see docs/PERFORMANCE.md, "Forward
+#: blocking").
+DEFAULT_CACHE_BLOCK = 2
 
 
 @dataclass(frozen=True)
@@ -82,13 +109,22 @@ class _PassingLayer(Module):
         edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]],
         dist_feats: dict[EdgeType, Tensor],
         num_nodes: int,
+        plan: UnionBlockPlan | None = None,
     ) -> Tensor:
         aggregated = None
         for edge_type, (src, dst) in edge_cache.items():
             if len(src) == 0:
                 continue
             messages = self.blocks[edge_type](h, src, dist_feats[edge_type])
-            summed = segment_sum(messages, dst, num_nodes)
+            if plan is not None:
+                # Edges (and therefore message rows) are dst-sorted in a
+                # block plan: aggregate with one contiguous reduceat
+                # sweep instead of a bincount scatter.
+                summed = segment_sum_csr(
+                    messages, plan.seg_nodes[edge_type],
+                    plan.seg_starts[edge_type], dst, num_nodes)
+            else:
+                summed = segment_sum(messages, dst, num_nodes)
             aggregated = summed if aggregated is None else aggregated + summed
         if aggregated is None:
             return h
@@ -127,9 +163,10 @@ class Gnn3d(Module):
         guidance-independent and comes precomputed from ``statics``.
         """
         feats: dict[EdgeType, Tensor] = {}
+        dtype = guidance_all.data.dtype
         for edge_type, (src, dst) in statics.edge_cache.items():
             if len(src) == 0:
-                feats[edge_type] = Tensor(np.zeros((0, 1)))
+                feats[edge_type] = Tensor(np.zeros((0, 1), dtype=dtype))
                 continue
             if self.config.use_cost_distance:
                 c_recv = guidance_all.gather_rows(dst)
@@ -162,35 +199,46 @@ class Gnn3d(Module):
             or a (B, 5) tensor for batched guidance.
         """
         if guidance.ndim == 3:
-            return self._forward_batched(graph, guidance)
+            return self.forward_batch(graph, guidance)
         if guidance.shape != (graph.num_aps, 3):
             raise ValueError(
                 f"guidance shape {guidance.shape} != ({graph.num_aps}, 3)"
             )
-        statics = self.cache.statics(graph)
+        dtype = guidance.data.dtype
+        statics = self.cache.statics(graph).as_dtype(dtype)
         num_modules = graph.num_modules
-        neutral = Tensor(np.ones((num_modules, 3)))
+        neutral = Tensor(np.ones((num_modules, 3), dtype=dtype))
         guidance_all = (concat([guidance, neutral], axis=0)
                         if num_modules else guidance)
         dist_feats = self._edge_distances(guidance_all, statics)
 
-        h_ap = self.ap_embed(Tensor(graph.ap_features))
-        h_mod = self.module_embed(Tensor(graph.module_features))
+        h_ap = self.ap_embed(self._features(graph.ap_features, dtype))
+        h_mod = self.module_embed(self._features(graph.module_features, dtype))
         h = concat([h_ap, h_mod], axis=0) if graph.num_modules else h_ap
 
         for layer in self.layers:
             h = layer(h, statics.edge_cache, dist_feats, graph.num_nodes)
         return self.head(h)
 
-    def _forward_batched(self, graph: HeteroGraph, guidance: Tensor) -> Tensor:
-        """One forward over a block-diagonal union of ``B`` graph replicas.
+    def forward_batch(self, graph: HeteroGraph, guidance: Tensor,
+                      block: int | None = None) -> Tensor:
+        """Evaluate ``B`` guidance candidates with cache blocking.
 
-        The union keeps all APs first (replica-major), mirroring the
-        unbatched ``concat([aps, modules])`` node layout, so the flattened
-        ``(B * num_aps, 3)`` guidance stack indexes it directly.  Replicas
-        share parameters but exchange no messages (no cross-replica
-        edges), so row ``b`` of the output equals the unbatched forward of
-        candidate ``b`` up to floating-point summation order.
+        The candidates are processed in blocks of at most ``block``
+        (default :data:`DEFAULT_CACHE_BLOCK`) replicas; each block runs
+        the complete fused RBF -> message -> segment-sum pass over its
+        own CSR-contiguous union
+        (:meth:`repro.perf.cache.ForwardCacheStore.union_plan`) before
+        the next block starts, so the per-block working set stays
+        L2-resident regardless of ``B``.  Gradients flow to ``guidance``
+        exactly as in :meth:`forward_union` — block outputs concatenate
+        and block backward passes scatter into the corresponding
+        guidance slices.
+
+        Parity contract: float64 results match the unbatched forward to
+        <1e-10 per row (CSR reordering changes summation order, so not
+        bitwise); the float32 scoring path is gated at
+        :data:`repro.serve.registry.FLOAT32_PARITY_RTOL`.
         """
         batch = guidance.shape[0]
         if guidance.shape != (batch, graph.num_aps, 3):
@@ -198,7 +246,54 @@ class Gnn3d(Module):
                 f"guidance shape {guidance.shape} != "
                 f"({batch}, {graph.num_aps}, 3)"
             )
-        plan = self.cache.batched(graph, batch)
+        if block is None:
+            block = DEFAULT_CACHE_BLOCK
+        plan = self.cache.union_plan(graph, batch, block)
+        outs = []
+        for (start, stop), block_plan in zip(plan.slices, plan.plans):
+            sub = (guidance if stop - start == batch
+                   else guidance[start:stop])
+            outs.append(self._forward_union(graph, sub, block_plan))
+        if len(outs) == 1:
+            return outs[0]
+        return concat(outs, axis=0)
+
+    def forward_union(self, graph: HeteroGraph, guidance: Tensor) -> Tensor:
+        """One forward over a single union of all ``B`` replicas at once.
+
+        The pre-blocking reference path: no cache blocking, edges in
+        plan (unsorted) order, bincount aggregation — bit-identical to
+        what ``forward`` produced for 3-D guidance before blocking
+        existed.  Kept as the parity baseline for the blocked path and
+        for working sets known to fit cache.
+        """
+        batch = guidance.shape[0]
+        if guidance.shape != (batch, graph.num_aps, 3):
+            raise ValueError(
+                f"guidance shape {guidance.shape} != "
+                f"({batch}, {graph.num_aps}, 3)"
+            )
+        return self._forward_union(graph, guidance,
+                                   self.cache.batched(graph, batch))
+
+    def _forward_union(self, graph: HeteroGraph, guidance: Tensor,
+                       plan: BatchedStatics) -> Tensor:
+        """Forward ``plan.batch`` replicas over one block-diagonal union.
+
+        The union keeps all APs first (replica-major), mirroring the
+        unbatched ``concat([aps, modules])`` node layout, so the flattened
+        ``(b * num_aps, 3)`` guidance stack indexes it directly.  Replicas
+        share parameters but exchange no messages (no cross-replica
+        edges), so row ``b`` of the output equals the unbatched forward of
+        candidate ``b`` up to floating-point summation order.  A
+        :class:`UnionBlockPlan` routes aggregation through the contiguous
+        CSR reduction; a plain :class:`BatchedStatics` keeps the bincount
+        path.
+        """
+        batch = plan.batch
+        dtype = guidance.data.dtype
+        plan = plan.as_dtype(dtype)
+        block_plan = plan if isinstance(plan, UnionBlockPlan) else None
         flat = guidance.reshape(batch * graph.num_aps, 3)
         guidance_all = (
             concat([flat, Tensor(plan.neutral_guidance)], axis=0)
@@ -211,5 +306,13 @@ class Gnn3d(Module):
         h = concat([h_ap, h_mod], axis=0) if graph.num_modules else h_ap
 
         for layer in self.layers:
-            h = layer(h, plan.edge_cache, dist_feats, plan.num_nodes)
+            h = layer(h, plan.edge_cache, dist_feats, plan.num_nodes,
+                      plan=block_plan)
         return self.head(h, graph_ids=plan.graph_ids, num_graphs=batch)
+
+    @staticmethod
+    def _features(features: np.ndarray, dtype: np.dtype) -> Tensor:
+        """Wrap static node features, cast to the guidance dtype."""
+        if features.dtype != dtype:
+            features = features.astype(dtype)
+        return Tensor(features)

@@ -53,18 +53,63 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     if len(ids) and (ids.min() < 0 or ids.max() >= num_segments):
         raise ValueError("segment id out of range")
     out_shape = (num_segments,) + values.shape[1:]
+    dtype = values.data.dtype
     if values.data.ndim == 2 and len(ids):
         # Column-wise bincount beats the unbuffered np.add.at scatter by
         # >2x on GNN-message shapes and accumulates in the same sequential
         # index order, so the result is bit-identical.
         cols = np.ascontiguousarray(values.data.T)
-        out_t = np.empty((values.shape[1], num_segments))
+        out_t = np.empty((values.shape[1], num_segments), dtype=dtype)
         for j in range(out_t.shape[0]):
             out_t[j] = np.bincount(ids, weights=cols[j], minlength=num_segments)
         out_data = np.ascontiguousarray(out_t.T)
     else:
-        out_data = np.zeros(out_shape)
+        out_data = np.zeros(out_shape, dtype=dtype)
         np.add.at(out_data, ids, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        values._accumulate(grad[ids])
+
+    return Tensor(out_data, parents=(values,), backward=backward)
+
+
+def segment_sum_csr(values: Tensor, seg_nodes: np.ndarray,
+                    seg_starts: np.ndarray, sorted_ids: np.ndarray,
+                    num_segments: int) -> Tensor:
+    """Segment sum over rows pre-sorted by segment id (CSR layout).
+
+    The blocked GNN forward's aggregation primitive: message rows come
+    out of the plan already grouped by receiving node, so one contiguous
+    ``np.add.reduceat`` sweep replaces :func:`segment_sum`'s per-column
+    bincount scatter.  ``seg_nodes``/``seg_starts`` are the plan's
+    precomputed distinct receivers and row offsets
+    (:class:`repro.perf.cache.UnionBlockPlan`); ``sorted_ids`` is the
+    full dst-sorted id array the gradient gather needs.  Reduceat sums
+    left to right within each segment — same order as bincount over the
+    sorted rows — but the sort itself reorders same-receiver messages,
+    so results match :func:`segment_sum` on unsorted edges only to
+    summation-order tolerance, not bitwise.
+    """
+    values = as_tensor(values)
+    ids = np.asarray(sorted_ids, dtype=np.int64)
+    if ids.ndim != 1 or len(ids) != values.shape[0]:
+        raise ValueError(
+            f"sorted_ids must be 1-D with length {values.shape[0]}, "
+            f"got {ids.shape}"
+        )
+    if len(seg_nodes) != len(seg_starts):
+        raise ValueError(
+            f"seg_nodes/seg_starts length mismatch: "
+            f"{len(seg_nodes)} != {len(seg_starts)}"
+        )
+    if len(seg_nodes) and (seg_nodes.min() < 0
+                           or seg_nodes.max() >= num_segments):
+        raise ValueError("segment id out of range")
+    out_data = np.zeros((num_segments,) + values.shape[1:],
+                        dtype=values.data.dtype)
+    if len(seg_nodes):
+        out_data[seg_nodes] = np.add.reduceat(values.data, seg_starts,
+                                              axis=0)
 
     def backward(grad: np.ndarray) -> None:
         values._accumulate(grad[ids])

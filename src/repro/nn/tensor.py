@@ -13,6 +13,34 @@ from typing import Callable
 import numpy as np
 
 
+#: Global tape switch (see :class:`no_grad`).
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables backward-tape construction.
+
+    Inside the context every new :class:`Tensor` is created grad-free:
+    no backward closure, no parent references.  Inference paths (the
+    scoring service, ``predicted_metrics``) run under it so a forward
+    never retains its intermediates — without it, cache-blocked batched
+    forwards keep every finished block's activation graph alive (the
+    model's parameters require grad), growing the working set with the
+    batch and defeating the L2 blocking.  Reentrant and exception-safe;
+    tensors created *outside* keep their tapes.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
     if grad.shape == shape:
@@ -32,7 +60,10 @@ class Tensor:
     """A differentiable array.
 
     Attributes:
-        data: the underlying float64 numpy array.
+        data: the underlying numpy array — float64 by default; a
+            float32 array passes through unconverted (the opt-in
+            reduced-precision scoring path threads its dtype from the
+            guidance input through every op).
         grad: accumulated gradient (same shape as data), or None.
         requires_grad: whether this tensor participates in autograd.
     """
@@ -46,9 +77,13 @@ class Tensor:
         parents: tuple["Tensor", ...] = (),
         backward: Callable[[np.ndarray], None] | None = None,
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data)
+        if arr.dtype != np.float32:
+            arr = np.asarray(arr, dtype=np.float64)
+        self.data = arr
         self.grad: np.ndarray | None = None
-        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+        self.requires_grad = _GRAD_ENABLED and (
+            requires_grad or any(p.requires_grad for p in parents))
         self._parents = parents if self.requires_grad else ()
         self._backward = backward if self.requires_grad else None
 
@@ -98,7 +133,7 @@ class Tensor:
         if grad is None:
             grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order over the tape.
         order: list[Tensor] = []
@@ -125,7 +160,7 @@ class Tensor:
     # -- arithmetic ----------------------------------------------------------------------
 
     def __add__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -145,13 +180,13 @@ class Tensor:
         return Tensor(-self.data, parents=(self,), backward=backward)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-as_tensor(other))
+        return self + (-as_tensor(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
-        return as_tensor(other) + (-self)
+        return as_tensor(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -165,7 +200,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = as_tensor(other)
+        other = as_tensor(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -179,7 +214,7 @@ class Tensor:
         return Tensor(out_data, parents=(self, other), backward=backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return as_tensor(other) / self
+        return as_tensor(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -369,8 +404,19 @@ class Tensor:
         return Tensor(out_data, parents=(self,), backward=backward)
 
 
-def as_tensor(value) -> Tensor:
-    """Wrap a value as a (non-grad) Tensor; pass tensors through."""
+def as_tensor(value, dtype=None) -> Tensor:
+    """Wrap a value as a (non-grad) Tensor; pass tensors through.
+
+    ``dtype`` is the *operand* dtype hint the binary ops supply: a
+    scalar (0-d) operand adopts it so that e.g. ``float32_tensor * 0.5``
+    stays float32 instead of promoting through a float64 scalar wrap.
+    Array operands keep numpy promotion semantics unchanged.
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    arr = np.asarray(value)
+    if arr.dtype != np.float32:
+        arr = np.asarray(arr, dtype=np.float64)
+    if dtype is not None and arr.ndim == 0 and arr.dtype != dtype:
+        arr = arr.astype(dtype)
+    return Tensor(arr)

@@ -26,6 +26,7 @@ edge arrays and mutating its geometry in place invalidate its entry.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import weakref
 from dataclasses import dataclass, field
@@ -33,6 +34,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.hetero import EdgeType, HeteroGraph
+
+#: Per-entry cap on cached per-``B`` plans (batched statics, block plans,
+#: union plans each have their own LRU of this size).  Eviction is
+#: strictly LRU — a hit refreshes recency and capacity evicts only the
+#: stalest plan, never the whole plan dict at once (wholesale clearing
+#: made alternation across ``MAX_PLANS_PER_GRAPH + 1`` batch sizes
+#: rebuild every plan on every forward).
+MAX_PLANS_PER_GRAPH = 8
 
 
 def graph_fingerprint(graph: HeteroGraph) -> tuple[int, int, int, str]:
@@ -74,6 +83,7 @@ class GraphStatics:
     edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]]
     deltas: dict[EdgeType, np.ndarray]
     _euclidean: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+    _casts: dict[str, "GraphStatics"] = field(default_factory=dict, repr=False)
 
     def euclidean(self, edge_type: EdgeType) -> np.ndarray:
         """Static Euclidean edge lengths (the Eq. 1 ablation path)."""
@@ -83,6 +93,28 @@ class GraphStatics:
             dist = np.sqrt((d * d).sum(axis=1) + 1e-6)
             self._euclidean[edge_type] = dist
         return dist
+
+    def as_dtype(self, dtype) -> "GraphStatics":
+        """This statics object with float arrays cast to ``dtype``.
+
+        ``float64`` returns ``self``; other dtypes return a cached cast
+        copy (index arrays are shared — only the geometry is cast), so
+        the reduced-precision scoring path pays the cast once per plan,
+        not once per forward.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self
+        cast = self._casts.get(dtype.name)
+        if cast is None:
+            cast = dataclasses.replace(
+                self,
+                deltas={et: d.astype(dtype) for et, d in self.deltas.items()},
+                _euclidean={},
+                _casts={},
+            )
+            self._casts[dtype.name] = cast
+        return cast
 
 
 @dataclass
@@ -111,6 +143,8 @@ class BatchedStatics:
     graph_ids: np.ndarray
     neutral_guidance: np.ndarray
     _euclidean: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+    _casts: dict[str, "BatchedStatics"] = field(default_factory=dict,
+                                                repr=False)
 
     def euclidean(self, edge_type: EdgeType) -> np.ndarray:
         """Static Euclidean edge lengths in the union (tiled)."""
@@ -120,6 +154,30 @@ class BatchedStatics:
             dist = np.sqrt((d * d).sum(axis=1) + 1e-6)
             self._euclidean[edge_type] = dist
         return dist
+
+    def as_dtype(self, dtype) -> "BatchedStatics":
+        """This plan with float arrays cast to ``dtype`` (cached).
+
+        ``float64`` returns ``self``.  Index arrays (edge indices,
+        graph ids, CSR segment metadata) are dtype-independent and
+        shared with the original plan.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == np.float64:
+            return self
+        cast = self._casts.get(dtype.name)
+        if cast is None:
+            cast = dataclasses.replace(
+                self,
+                deltas={et: d.astype(dtype) for et, d in self.deltas.items()},
+                ap_features=self.ap_features.astype(dtype),
+                module_features=self.module_features.astype(dtype),
+                neutral_guidance=self.neutral_guidance.astype(dtype),
+                _euclidean={},
+                _casts={},
+            )
+            self._casts[dtype.name] = cast
+        return cast
 
 
 def build_statics(graph: HeteroGraph) -> GraphStatics:
@@ -187,14 +245,107 @@ def build_batched(graph: HeteroGraph, statics: GraphStatics,
     )
 
 
+@dataclass
+class UnionBlockPlan(BatchedStatics):
+    """A :class:`BatchedStatics` in CSR-contiguous (dst-sorted) order.
+
+    The cache-block unit of the blocked forward: edge indices, deltas,
+    and therefore the message rows they produce are laid out sorted by
+    receiving node, so the segment reduction is one contiguous
+    ``np.add.reduceat`` sweep per edge type instead of a per-column
+    bincount scatter.
+
+    Attributes:
+        seg_nodes: per edge type, the distinct receiving nodes in
+            ascending order (the reduction's output rows).
+        seg_starts: per edge type, the CSR row offsets into the sorted
+            edge arrays (``np.add.reduceat`` boundaries).
+    """
+
+    seg_nodes: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+    seg_starts: dict[EdgeType, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class UnionPlan:
+    """The full blocked decomposition of one ``(graph, B)`` forward.
+
+    ``B`` replicas are processed as ``ceil(B / block)`` cache blocks of
+    at most ``block`` replicas each; every block runs the complete
+    RBF -> message -> segment-sum pass over its own small union before
+    the next block starts, so the working set per block is bounded by
+    ``block`` replicas regardless of ``B``.  Full blocks share a single
+    :class:`UnionBlockPlan` object (their unions are congruent).
+
+    Attributes:
+        batch: total replicas ``B``.
+        block: cache-block size the plan was built for.
+        slices: per block, the ``(start, stop)`` replica range.
+        plans: per block, its :class:`UnionBlockPlan` (aligned with
+            ``slices``).
+    """
+
+    batch: int
+    block: int
+    slices: tuple[tuple[int, int], ...]
+    plans: tuple[UnionBlockPlan, ...]
+
+
+def build_block_plan(graph: HeteroGraph, statics: GraphStatics,
+                     batch: int) -> UnionBlockPlan:
+    """Build one CSR-contiguous cache block of ``batch`` replicas.
+
+    Reorders the union's directed edges by receiving node (stable sort,
+    so same-receiver edges keep their relative order) and precomputes
+    the reduceat segment metadata.  Reordering changes the summation
+    order of same-receiver messages, which is why the blocked forward's
+    parity contract is <1e-10, not bitwise.
+    """
+    base = build_batched(graph, statics, batch)
+    edge_cache: dict[EdgeType, tuple[np.ndarray, np.ndarray]] = {}
+    deltas: dict[EdgeType, np.ndarray] = {}
+    seg_nodes: dict[EdgeType, np.ndarray] = {}
+    seg_starts: dict[EdgeType, np.ndarray] = {}
+    for edge_type, (src, dst) in base.edge_cache.items():
+        if len(src) == 0:
+            edge_cache[edge_type] = (src, dst)
+            deltas[edge_type] = base.deltas[edge_type]
+            seg_nodes[edge_type] = np.zeros(0, dtype=np.int64)
+            seg_starts[edge_type] = np.zeros(0, dtype=np.int64)
+            continue
+        order = np.argsort(dst, kind="stable")
+        dst_sorted = np.ascontiguousarray(dst[order])
+        nodes, starts = np.unique(dst_sorted, return_index=True)
+        edge_cache[edge_type] = (np.ascontiguousarray(src[order]), dst_sorted)
+        deltas[edge_type] = np.ascontiguousarray(
+            base.deltas[edge_type][order])
+        seg_nodes[edge_type] = nodes.astype(np.int64)
+        seg_starts[edge_type] = starts.astype(np.int64)
+    return UnionBlockPlan(
+        batch=base.batch,
+        num_nodes=base.num_nodes,
+        edge_cache=edge_cache,
+        deltas=deltas,
+        ap_features=base.ap_features,
+        module_features=base.module_features,
+        graph_ids=base.graph_ids,
+        neutral_guidance=base.neutral_guidance,
+        seg_nodes=seg_nodes,
+        seg_starts=seg_starts,
+    )
+
+
 class _Entry:
-    __slots__ = ("ref", "fingerprint", "statics", "batched")
+    __slots__ = ("ref", "fingerprint", "statics", "batched", "blocks",
+                 "unions")
 
     def __init__(self, graph: HeteroGraph) -> None:
         self.ref = weakref.ref(graph)
         self.fingerprint = graph_fingerprint(graph)
         self.statics: GraphStatics | None = None
         self.batched: dict[int, BatchedStatics] = {}
+        self.blocks: dict[int, UnionBlockPlan] = {}
+        self.unions: dict[tuple[int, int], UnionPlan] = {}
 
 
 class ForwardCacheStore:
@@ -232,18 +383,89 @@ class ForwardCacheStore:
         self._entries[key] = entry
         return entry
 
-    def statics(self, graph: HeteroGraph) -> GraphStatics:
-        entry = self._entry(graph)
+    # Per-entry plan dicts (batched / blocks / unions) are LRU caches:
+    # a hit moves the plan to the back (most recent), an insert at
+    # capacity evicts exactly the front (least recent) plan.  Dicts
+    # preserve insertion order, so recency is the dict order itself.
+
+    @staticmethod
+    def _plan_hit(plans: dict, key):
+        plan = plans.pop(key, None)
+        if plan is not None:
+            plans[key] = plan
+        return plan
+
+    @staticmethod
+    def _plan_put(plans: dict, key, plan) -> None:
+        while len(plans) >= MAX_PLANS_PER_GRAPH:
+            del plans[next(iter(plans))]
+        plans[key] = plan
+
+    def _statics(self, entry: _Entry, graph: HeteroGraph) -> GraphStatics:
         if entry.statics is None:
             entry.statics = build_statics(graph)
         return entry.statics
 
+    def statics(self, graph: HeteroGraph) -> GraphStatics:
+        return self._statics(self._entry(graph), graph)
+
     def batched(self, graph: HeteroGraph, batch: int) -> BatchedStatics:
+        """The single-union (no cache blocking) plan for batch ``B``."""
         entry = self._entry(graph)
-        plan = entry.batched.get(batch)
+        plan = self._plan_hit(entry.batched, batch)
         if plan is None:
-            plan = build_batched(graph, self.statics(graph), batch)
-            if len(entry.batched) >= 4:
-                entry.batched.clear()
-            entry.batched[batch] = plan
+            plan = build_batched(graph, self._statics(entry, graph), batch)
+            self._plan_put(entry.batched, batch, plan)
+        return plan
+
+    def _block_plan(self, entry: _Entry, graph: HeteroGraph,
+                    batch: int) -> UnionBlockPlan:
+        plan = self._plan_hit(entry.blocks, batch)
+        if plan is None:
+            plan = build_block_plan(graph, self._statics(entry, graph), batch)
+            self._plan_put(entry.blocks, batch, plan)
+        return plan
+
+    def union_plan(self, graph: HeteroGraph, batch: int,
+                   block: int) -> UnionPlan:
+        """The blocked decomposition of a ``B``-candidate forward.
+
+        Keyed per ``(graph fingerprint, B, block)``; the underlying
+        cache blocks are additionally shared across batch sizes (a
+        ``B=12`` and a ``B=8`` plan at ``block=4`` reuse the same
+        4-replica :class:`UnionBlockPlan`), so relaxation waves and
+        serving micro-batches of different widths amortize one block
+        build.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if block < 1:
+            raise ValueError(f"block must be >= 1, got {block}")
+        block = min(block, batch)
+        entry = self._entry(graph)
+        key = (batch, block)
+        plan = self._plan_hit(entry.unions, key)
+        if plan is not None:
+            # A union hit is also a use of its cache blocks: refresh
+            # their recency too, so a hot union's blocks are never the
+            # eviction victims when a new block size comes along.
+            for size in dict.fromkeys(p.batch for p in plan.plans):
+                self._plan_hit(entry.blocks, size)
+        if plan is None:
+            full, remainder = divmod(batch, block)
+            sizes = [block] * full + ([remainder] if remainder else [])
+            by_size = {size: self._block_plan(entry, graph, size)
+                       for size in dict.fromkeys(sizes)}
+            slices = []
+            start = 0
+            for size in sizes:
+                slices.append((start, start + size))
+                start += size
+            plan = UnionPlan(
+                batch=batch,
+                block=block,
+                slices=tuple(slices),
+                plans=tuple(by_size[size] for size in sizes),
+            )
+            self._plan_put(entry.unions, key, plan)
         return plan

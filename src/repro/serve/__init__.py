@@ -32,9 +32,11 @@ from repro.serve.dispatch import (
     Dispatcher,
 )
 from repro.serve.registry import (
+    FLOAT32_PARITY_RTOL,
     ModelManifest,
     ModelRegistry,
     NORMALIZATION_SCHEME,
+    PRECISIONS,
     REGISTRY_SCHEMA_VERSION,
 )
 from repro.serve.service import (
@@ -50,6 +52,8 @@ from repro.serve.worker import WorkerContext
 
 __all__ = [
     "DEFAULT_FORWARD_BLOCK",
+    "FLOAT32_PARITY_RTOL",
+    "PRECISIONS",
     "CircuitBreaker",
     "ClusterConfig",
     "ClusterResult",

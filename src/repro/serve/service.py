@@ -3,11 +3,15 @@
 Synchronous API, batched execution: callers submit ``(graph_id, C)``
 requests one at a time (or as a stream) and the service coalesces the
 pending queue into scoring waves of up to ``max_batch`` candidates,
-served by block-diagonal union forwards of at most ``forward_block``
-candidates each — the same
-:class:`~repro.perf.cache.ForwardCacheStore`-backed plan potential
-relaxation uses, so a served score is bit-compatible with a direct
-:class:`~repro.model.gnn3d.Gnn3d` forward.
+served by batched model calls of at most ``forward_block`` candidates
+each.  Inside each call, ``Gnn3d.forward_batch`` processes replicas in
+L2-resident cache blocks over the same
+:class:`~repro.perf.cache.ForwardCacheStore`-backed union plans
+potential relaxation uses, so a served score is bit-compatible with a
+direct :class:`~repro.model.gnn3d.Gnn3d` forward.  Endpoints whose
+manifest declares ``precision: float32`` score in float32 under the
+documented parity tolerance
+(:data:`repro.serve.registry.FLOAT32_PARITY_RTOL`).
 
 Operational behavior:
 
@@ -35,11 +39,11 @@ import numpy as np
 
 from repro.graph.hetero import HeteroGraph
 from repro.model.gnn3d import Gnn3d
-from repro.nn import Tensor
+from repro.nn import Tensor, no_grad
 from repro.obs import NULL_CONTEXT, RunContext
 from repro.perf.cache import graph_fingerprint
 from repro.reliability.errors import ReproError, ServeError
-from repro.serve.registry import ModelManifest, ModelRegistry
+from repro.serve.registry import PRECISIONS, ModelManifest, ModelRegistry
 from repro.simulation.metrics import FoMWeights
 
 #: Exceptions a forward pass can legitimately raise at serve time; they
@@ -48,13 +52,15 @@ from repro.simulation.metrics import FoMWeights
 _FORWARD_ERRORS = (ReproError, ValueError, ArithmeticError)
 
 
-#: Union-forward compute-block cap.  Per-candidate forward cost is
-#: flat only while the union's message arrays stay cache-resident;
-#: past ~4 replicas of an OTA-sized graph they spill L2 and the math
-#: slows more than further amortization saves (see
-#: ``benchmarks/bench_serve.py``).  ``max_batch`` keeps amortizing
-#: per-wave overhead above this cap; forwards just never grow past it.
-DEFAULT_FORWARD_BLOCK = 4
+#: Most candidates handed to one model call inside a wave.  The model
+#: itself cache-blocks internally (``Gnn3d.forward_batch`` processes
+#: replicas in L2-resident blocks of
+#: :data:`repro.model.gnn3d.DEFAULT_CACHE_BLOCK`), so per-candidate
+#: forward cost stays flat well past the old L2-spill ceiling of 4 —
+#: larger calls now amortize per-call dispatch (fingerprint check, plan
+#: lookup, stacking) over more candidates (see
+#: ``benchmarks/bench_serve.py``'s monotone-throughput sweep).
+DEFAULT_FORWARD_BLOCK = 16
 
 
 @dataclass(frozen=True)
@@ -67,8 +73,10 @@ class ServeConfig:
             grouping, and metric updates amortize over it).
         max_queue: admission bound on pending (submitted, unflushed)
             requests.
-        forward_block: most candidates per union forward inside a wave;
-            waves larger than this run several back-to-back forwards.
+        forward_block: most candidates per batched model call inside a
+            wave; waves larger than this run several back-to-back
+            calls.  The model cache-blocks internally, so this is a
+            dispatch-granularity knob, not a cache-size one.
     """
 
     max_batch: int = 8
@@ -148,6 +156,13 @@ class _Endpoint:
     w_signed: np.ndarray
     fingerprint: tuple
     c_max: float = 4.0
+    precision: str = "float64"
+
+    def cast_guidance(self, guidance: np.ndarray) -> np.ndarray:
+        """Guidance in the endpoint's execution dtype (no-op float64)."""
+        if self.precision == "float32":
+            return guidance.astype(np.float32)
+        return guidance
 
 
 @dataclass
@@ -178,24 +193,41 @@ class ScoringService:
 
     def register(self, graph_id: str, model: Gnn3d, graph: HeteroGraph,
                  weights: FoMWeights | None = None,
-                 c_max: float = 4.0) -> None:
-        """Expose ``model`` for scoring candidates on ``graph``."""
+                 c_max: float = 4.0, precision: str = "float64") -> None:
+        """Expose ``model`` for scoring candidates on ``graph``.
+
+        ``precision`` selects the execution dtype (see
+        :data:`repro.serve.registry.PRECISIONS`); ``"float32"`` casts
+        the model's parameters **in place** and serves every request in
+        float32 under the documented parity tolerance
+        (:data:`repro.serve.registry.FLOAT32_PARITY_RTOL`).
+        """
+        if precision not in PRECISIONS:
+            raise ServeError(
+                f"unknown precision {precision!r} (supported: "
+                f"{PRECISIONS})", stage="serve",
+                details={"precision": precision})
+        if precision == "float32":
+            model.to_dtype(np.float32)
         self._endpoints[graph_id] = _Endpoint(
             model=model, graph=graph,
             w_signed=(weights or FoMWeights()).as_signed_vector(),
-            fingerprint=graph_fingerprint(graph), c_max=c_max)
+            fingerprint=graph_fingerprint(graph), c_max=c_max,
+            precision=precision)
 
     def register_checkpoint(self, graph_id: str, registry: ModelRegistry,
                             name: str, graph: HeteroGraph,
                             version: str | None = None) -> ModelManifest:
         """Load a registry checkpoint (integrity-checked against
-        ``graph``) and register it under ``graph_id``."""
+        ``graph``) and register it under ``graph_id``.  The manifest's
+        ``precision`` field selects the execution dtype (the registry
+        load already cast the weights)."""
         model, manifest = registry.load(name, version, graph=graph)
         self._endpoints[graph_id] = _Endpoint(
             model=model, graph=graph,
             w_signed=manifest.signed_fom_vector(),
             fingerprint=tuple(manifest.graph_fingerprint),
-            c_max=manifest.c_max)
+            c_max=manifest.c_max, precision=manifest.precision)
         return manifest
 
     def graph_ids(self) -> list[str]:
@@ -333,9 +365,15 @@ class ScoringService:
                 rows = []
                 for sub_start in range(0, len(requests), block):
                     sub = requests[sub_start: sub_start + block]
-                    stack = np.stack([r.guidance for r in sub])
-                    rows.append(endpoint.model(endpoint.graph,
-                                               Tensor(stack)).numpy())
+                    stack = endpoint.cast_guidance(
+                        np.stack([r.guidance for r in sub]))
+                    # Tape-free: scoring never backpropagates, and
+                    # retained per-block activation graphs would grow
+                    # the working set with the wave, defeating the
+                    # model's L2 cache blocking.
+                    with no_grad():
+                        rows.append(endpoint.model(
+                            endpoint.graph, Tensor(stack)).numpy())
                 preds = np.concatenate(rows, axis=0)
             except _FORWARD_ERRORS:
                 degraded = True
@@ -348,8 +386,11 @@ class ScoringService:
                     endpoint, request, preds[row], len(requests), degraded))
                 continue
             try:
-                single = endpoint.model(endpoint.graph,
-                                        Tensor(request.guidance)).numpy()
+                with no_grad():
+                    single = endpoint.model(
+                        endpoint.graph,
+                        Tensor(endpoint.cast_guidance(
+                            request.guidance))).numpy()
             except _FORWARD_ERRORS as exc:
                 results.append(ScoreResult(
                     request_id=request.request_id,
