@@ -191,6 +191,9 @@ class PotentialFunction:
 
     def predicted_metrics(self, c_flat: np.ndarray) -> np.ndarray:
         """Normalized metric predictions at a guidance point (no grad)."""
+        # Relaxation operates in float64 by contract; only serve
+        # endpoints opt into float32, at the endpoint boundary.
+        # repro-lint: disable-next-line=PRE001 -- float64 relaxation contract
         c = Tensor(np.asarray(c_flat, dtype=float).reshape(self.graph.num_aps, 3))
         with no_grad():
             return self.model(self.graph, c).numpy()

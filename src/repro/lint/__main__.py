@@ -1,20 +1,24 @@
 """CLI entry point: ``python -m repro.lint [paths...]``.
 
 Exit codes: 0 clean, 1 findings (or stale baseline entries under
-``--strict-baseline``), 2 usage/configuration error.
+``--strict-baseline``, or the ``--max-seconds`` wall-time gate blown),
+2 usage/configuration error.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.lint.baseline import write_baseline
+from repro.lint.cache import SummaryCache
 from repro.lint.config import load_config
 from repro.lint.engine import run_lint
 from repro.lint.output import FORMATS, render
-from repro.lint.rules import all_rules, rule_catalog
+from repro.lint.rules import all_graph_rules, all_rules, rule_catalog
+from repro.lint.rules.wholeprogram import EXCEPTIONS_DOC, render_exceptions_md
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse/summarize N files in parallel processes (default: 1)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the .lint-cache/ summary cache entirely")
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="with a warm cache: re-analyze only changed modules plus "
+             "their reverse import dependencies")
+    parser.add_argument(
+        "--no-whole-program", action="store_true",
+        help="skip phase 2 (call-graph rules); per-file rules only")
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 1) when the analyzer wall time exceeds S seconds")
+    parser.add_argument(
+        "--write-exceptions", action="store_true",
+        help=f"regenerate {EXCEPTIONS_DOC} from the call graph and exit")
     return parser
 
 
@@ -65,7 +88,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list_rules:
         for entry in rule_catalog():
-            print(f"{entry['id']}  {entry['name']}: {entry['invariant']}")
+            print(f"{entry['id']}  {entry['name']} [{entry['scope']}]: "
+                  f"{entry['invariant']}")
         return 0
 
     try:
@@ -77,15 +101,41 @@ def main(argv: list[str] | None = None) -> int:
         config.baseline = args.baseline
     if args.no_baseline:
         config.baseline = None
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     select = _split_ids(args.select)
     ignore = (config.ignored() | (_split_ids(args.ignore) or set()))
     rules = all_rules(select=select, ignore=ignore)
-    if not rules:
+    whole_program = not args.no_whole_program
+    graph_rules = (all_graph_rules(select=select, ignore=ignore)
+                   if whole_program else [])
+    if not rules and not graph_rules:
         print("error: no rules selected", file=sys.stderr)
         return 2
 
-    result = run_lint(paths=args.paths or None, config=config, rules=rules)
+    cache = None if args.no_cache else SummaryCache(config.root)
+
+    start = time.perf_counter()
+    result = run_lint(paths=args.paths or None, config=config, rules=rules,
+                      graph_rules=graph_rules,
+                      whole_program=whole_program and bool(graph_rules),
+                      cache=cache, jobs=args.jobs,
+                      changed_only=args.changed_only)
+    elapsed = time.perf_counter() - start
+
+    if args.write_exceptions:
+        if result.project is None:
+            print("error: no modules analyzed; cannot generate "
+                  f"{EXCEPTIONS_DOC}", file=sys.stderr)
+            return 2
+        target = config.root / EXCEPTIONS_DOC
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(render_exceptions_md(result.project),
+                          encoding="utf-8")
+        print(f"wrote {target}")
+        return 0
 
     if args.write_baseline:
         target = config.baseline_path()
@@ -102,9 +152,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     print(render(result, args.fmt))
+    print(f"analyzer wall time: {elapsed:.2f}s"
+          + (f" (limit {args.max_seconds:.0f}s)"
+             if args.max_seconds is not None else ""),
+          file=sys.stderr)
     if result.findings:
         return 1
     if args.strict_baseline and result.stale_baseline:
+        return 1
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"error: analyzer wall time {elapsed:.2f}s exceeded "
+              f"--max-seconds {args.max_seconds:.0f}", file=sys.stderr)
         return 1
     return 0
 

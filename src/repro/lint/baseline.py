@@ -15,6 +15,7 @@ violations that a separate change will burn down — and
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -22,7 +23,10 @@ from pathlib import Path
 from repro.lint.findings import Finding
 
 #: Schema version of the baseline file; bump on incompatible changes.
-BASELINE_VERSION = 1
+#: v2 hashes the offending line text into the fingerprint (stable under
+#: pure line-number shifts like v1, but bounded-size and insensitive to
+#: surrounding whitespace edits).
+BASELINE_VERSION = 2
 
 
 def _fingerprints(findings: list[Finding]) -> list[str]:
@@ -34,7 +38,8 @@ def _fingerprints(findings: list[Finding]) -> list[str]:
         index = seen.get(key, 0)
         seen[key] = index + 1
         rule, path, text = key
-        out.append(f"{rule}::{path}::{text}::{index}")
+        digest = hashlib.sha256(text.strip().encode("utf-8")).hexdigest()[:16]
+        out.append(f"{rule}::{path}::{digest}::{index}")
     return out
 
 

@@ -1,0 +1,122 @@
+"""Incremental summary cache under ``.lint-cache/``.
+
+One JSON file per analyzed source file, keyed by the source's content
+hash: a warm run re-parses only files whose bytes changed, and
+``--changed-only`` additionally skips re-*linting* unchanged modules
+(their per-file findings are cached alongside the summary).
+
+Entries are invalidated by digest mismatch and by schema bump
+(:data:`CACHE_SCHEMA_VERSION` folds in the summary schema), so a
+stale cache can never change lint output — at worst it is ignored.
+Writes are atomic (tmp file + ``os.replace``) so parallel workers and
+interrupted runs leave no torn entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.summaries import SUMMARY_SCHEMA_VERSION, ModuleSummary
+
+#: Bump on any change to the entry layout below; combined with the
+#: summary schema so either bump invalidates the cache.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache directory name, repo-root relative.
+CACHE_DIR = ".lint-cache"
+
+
+def source_digest(source: str) -> str:
+    """Content hash used as the cache key for one file."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(path=data["path"], line=data["line"], col=data["col"],
+                   rule_id=data["rule"], message=data["message"],
+                   line_text=data.get("line_text", ""))
+
+
+@dataclass
+class CacheEntry:
+    """Everything cached for one source file at one content digest."""
+
+    digest: str
+    summary: ModuleSummary
+    findings: list[Finding]
+    suppressed: int
+
+
+class SummaryCache:
+    """File-backed summary + per-file-findings cache."""
+
+    def __init__(self, root: str | Path, directory: str = CACHE_DIR) -> None:
+        self.path = Path(root) / directory
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, rel_path: str) -> Path:
+        name = hashlib.sha256(rel_path.encode("utf-8")).hexdigest()[:32]
+        return self.path / f"{name}.json"
+
+    def get(self, rel_path: str, digest: str,
+            rules_key: str = "") -> CacheEntry | None:
+        """The cached entry for ``rel_path`` iff its digest matches.
+
+        ``rules_key`` identifies the active rule selection — findings
+        were computed under it, so a different selection is a miss.
+        """
+        entry_path = self._entry_path(rel_path)
+        try:
+            data = json.loads(entry_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (data.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or data.get("summary_schema") != SUMMARY_SCHEMA_VERSION
+                or data.get("rel_path") != rel_path
+                or data.get("rules_key", "") != rules_key
+                or data.get("digest") != digest):
+            self.misses += 1
+            return None
+        try:
+            entry = CacheEntry(
+                digest=digest,
+                summary=ModuleSummary.from_dict(data["summary"]),
+                findings=[_finding_from_dict(f)
+                          for f in data.get("findings", [])],
+                suppressed=int(data.get("suppressed", 0)))
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, rel_path: str, digest: str, summary: ModuleSummary,
+            findings: list[Finding], suppressed: int,
+            rules_key: str = "") -> None:
+        """Store an entry atomically; IO errors are non-fatal (the
+        cache is an accelerator, not a source of truth)."""
+        payload = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "summary_schema": SUMMARY_SCHEMA_VERSION,
+            "rel_path": rel_path,
+            "rules_key": rules_key,
+            "digest": digest,
+            "summary": summary.to_dict(),
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": suppressed,
+        }
+        entry_path = self._entry_path(rel_path)
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+            tmp = entry_path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+            os.replace(tmp, entry_path)
+        except OSError:
+            pass

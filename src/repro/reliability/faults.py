@@ -58,10 +58,16 @@ _UNITS: list[int] = []
 @contextmanager
 def fault_scope(unit: int) -> Iterator[None]:
     """Attribute the enclosed stage calls to ``unit`` (a sample index)."""
+    # The unit stack is process-local bookkeeping for *deterministic*
+    # fault attribution: selection keys on the unit id, not on call
+    # order, so the balanced push/pop below cannot skew results across
+    # worker counts.
+    # repro-lint: disable-next-line=WRK001 -- balanced, unit-keyed
     _UNITS.append(unit)
     try:
         yield
     finally:
+        # repro-lint: disable-next-line=WRK001 -- balanced, unit-keyed
         _UNITS.pop()
 
 

@@ -257,6 +257,9 @@ class ScoringService:
                 f"unknown graph_id {request.graph_id!r} "
                 f"(registered: {self.graph_ids()})",
                 graph_id=request.graph_id)
+        # Admission-time shape normalization in float64; the
+        # per-endpoint cast_guidance converts right before the forward.
+        # repro-lint: disable-next-line=PRE001 -- admission normalization
         guidance = np.asarray(request.guidance, dtype=float)
         expected = (endpoint.graph.num_aps, 3)
         if guidance.shape != expected:

@@ -110,6 +110,9 @@ def worker_main(conn, ctx: WorkerContext) -> None:
     # whose process-local call counters would diverge between runs.
     # Start clean and install the shipped plans so selection is purely
     # unit-scoped (deterministic regardless of worker count).
+    # One-time per-process reset *before* any task runs; selection
+    # stays unit-scoped afterwards.
+    # repro-lint: disable-next-line=WRK001 -- pre-task injector reset
     _ACTIVE.clear()
     plans: tuple[FaultPlan, ...] = tuple(ctx.fault_plans)
     if plans:

@@ -1,0 +1,16 @@
+"""Seeded EXC101 divergence: an exported API raises an undocumented error.
+
+Linted as the package ``__init__`` of module ``repro`` (rel path
+``src/repro/__init__.py``) alongside a minimal error taxonomy; the
+test pairs it with an EXCEPTIONS.md that misses the ``RoutingError``.
+"""
+
+from repro.reliability.errors import RoutingError
+
+__all__ = ["route"]
+
+
+def route(net):
+    if net is None:
+        raise RoutingError("no net to route")
+    return net

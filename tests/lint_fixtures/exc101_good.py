@@ -1,0 +1,10 @@
+"""Compliant twin of exc101_bad: the exported API raises no taxonomy
+error, so the computed table is empty and no EXCEPTIONS.md is owed."""
+
+__all__ = ["route"]
+
+
+def route(net):
+    if net is None:
+        raise ValueError("no net to route")
+    return net

@@ -1,0 +1,18 @@
+"""Seeded PRE001 violations: float64 coercions on the scoring path.
+
+Linted as module ``repro.serve.service`` so ``ScoringService.submit``
+is a precision root; one coercion sits in the root itself, one behind
+a helper call.
+"""
+
+import numpy as np
+
+
+def _normalize(batch):
+    return np.asarray(batch, dtype="float64")  # widens behind a helper
+
+
+class ScoringService:
+    def submit(self, request):
+        wide = np.zeros(4, dtype=np.float64)  # widens in the root
+        return _normalize(request) + wide

@@ -1,0 +1,13 @@
+"""Compliant twin of pre001_bad: the scoring path stays float32."""
+
+import numpy as np
+
+
+def _normalize(batch):
+    return np.asarray(batch, dtype=np.float32)
+
+
+class ScoringService:
+    def submit(self, request):
+        wide = np.zeros(4, dtype="float32")
+        return _normalize(request) + wide

@@ -1,0 +1,20 @@
+"""Seeded TAPE001 violations: tape ops on a no_grad scoring path.
+
+One ``.backward()`` lexically inside the ``no_grad`` block, and one
+reached through a helper called from inside the block.
+"""
+
+from repro.nn.tensor import no_grad
+
+
+def _fit(pred):
+    loss = (pred * pred).sum()
+    loss.backward()  # reachable from the no_grad block in score()
+    return loss
+
+
+def score(model, x):
+    with no_grad():
+        pred = model(x)
+        pred.backward()  # direct tape op inside no_grad
+        return _fit(pred)

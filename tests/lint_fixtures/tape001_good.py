@@ -1,0 +1,23 @@
+"""Compliant twin of tape001_bad: the tape stays outside no_grad.
+
+``_fit`` calls ``.backward()`` but is only reached from the training
+step, never from inside a ``no_grad`` block — so the rule stays quiet.
+"""
+
+from repro.nn.tensor import no_grad
+
+
+def _fit(pred, target):
+    loss = ((pred - target) * (pred - target)).sum()
+    loss.backward()
+    return loss
+
+
+def train_step(model, x, target):
+    pred = model(x)
+    return _fit(pred, target)
+
+
+def score(model, x):
+    with no_grad():
+        return model(x)

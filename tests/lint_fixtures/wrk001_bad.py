@@ -1,0 +1,22 @@
+"""Seeded WRK001 violations: a worker task mutates module-level state.
+
+Linted as module ``repro.perf.parallel`` so ``_worker_run`` is a
+worker entry point; the rule must flag the direct mutations *and* the
+one hidden behind a helper call.
+"""
+
+_CACHE = {}
+_SEEN = []
+_COUNTER = 0
+
+
+def _bump():
+    global _COUNTER
+    _COUNTER += 1  # rebinding module state, one call away from the worker
+
+
+def _worker_run(task):
+    _CACHE[task] = 1  # direct mutation of a module dict
+    _SEEN.append(task)  # mutating method on module state
+    _bump()
+    return task

@@ -1,0 +1,13 @@
+"""Compliant twin of wrk001_bad: the worker keeps every byte local."""
+
+
+def _bump(counter):
+    return counter + 1
+
+
+def _worker_run(task):
+    cache = {}
+    cache[task] = 1
+    seen = [task]
+    seen.append(task)
+    return _bump(len(seen))

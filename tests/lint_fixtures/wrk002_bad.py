@@ -1,0 +1,19 @@
+"""Seeded WRK002 violations: non-injected randomness on a worker path.
+
+Linted as module ``repro.perf.parallel``: one unseeded generator
+factory, one entropy source, one global-state draw behind a helper.
+"""
+
+import os
+
+import numpy as np
+
+
+def _jitter():
+    return np.random.rand()  # module-level global RNG state
+
+
+def _worker_run(task):
+    rng = np.random.default_rng()  # unseeded: seed differs per process
+    token = os.urandom(8)  # entropy source
+    return task, rng, token, _jitter()

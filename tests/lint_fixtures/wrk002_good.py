@@ -1,0 +1,12 @@
+"""Compliant twin of wrk002_bad: workers draw only from injected RNGs."""
+
+import numpy as np
+
+
+def _jitter(rng):
+    return rng.uniform()
+
+
+def _worker_run(task, seed):
+    rng = np.random.default_rng(seed)
+    return task, _jitter(rng)

@@ -1,0 +1,188 @@
+"""Property-based tests for the phase-2 call-graph builder.
+
+The linker must stay *sound* on arbitrary import topologies: cyclic
+imports terminate, aliases and star-import chains resolve to the
+defining module, package ``__init__`` re-exports are followed, and
+every emitted edge connects two real function nodes reachable by a
+reconstructible path.  Hypothesis drives the topology; the properties
+below never depend on a particular repo layout.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.callgraph import EDGE_KINDS, Project
+from repro.lint.summaries import summarize_module
+
+_settings = settings(max_examples=50, deadline=None)
+
+
+def _summarize(module: str, source: str, rel: str | None = None):
+    rel = rel or module.replace(".", "/") + ".py"
+    return summarize_module(ast.parse(source), module, rel)
+
+
+def _project(files: dict[str, str]) -> Project:
+    return Project({m: _summarize(m, src) for m, src in files.items()})
+
+
+# -- strategies ----------------------------------------------------------------
+
+_names = st.integers(min_value=0, max_value=9).map(lambda i: f"alias{i}")
+
+
+@st.composite
+def _import_topologies(draw):
+    """A random directed import graph: module i imports a set of peers,
+    each under a random alias, and calls one function per import."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    imports = [draw(st.lists(
+        st.integers(min_value=0, max_value=n - 1).filter(lambda j, i=i: j != i),
+        unique=True, max_size=3)) for i in range(n)]
+    aliased = [draw(st.lists(st.booleans(),
+                             min_size=len(imports[i]),
+                             max_size=len(imports[i])))
+               for i in range(n)]
+    return n, imports, aliased
+
+
+# -- properties ----------------------------------------------------------------
+
+
+class TestImportResolution:
+    @_settings
+    @given(_import_topologies())
+    def test_aliased_imports_resolve_across_arbitrary_cycles(self, topo):
+        n, imports, aliased = topo
+        files = {}
+        for i in range(n):
+            lines = []
+            calls = []
+            for k, j in enumerate(imports[i]):
+                if aliased[i][k]:
+                    lines.append(f"import mod{j} as a{k}")
+                    calls.append(f"    a{k}.fn{j}()")
+                else:
+                    lines.append(f"import mod{j}")
+                    calls.append(f"    mod{j}.fn{j}()")
+            lines.append(f"def fn{i}():")
+            lines.extend(calls or ["    pass"])
+            files[f"mod{i}"] = "\n".join(lines) + "\n"
+        project = _project(files)
+        for i in range(n):
+            src = f"mod{i}:fn{i}"
+            direct = {e.dst for e in project.edges_from(src)
+                      if e.kind == "direct"}
+            expected = {f"mod{j}:fn{j}" for j in imports[i]}
+            assert direct == expected, (files, direct, expected)
+
+    @_settings
+    @given(st.integers(min_value=1, max_value=5))
+    def test_star_import_chains_reexport_the_origin(self, depth):
+        files = {"m0": "def secret():\n    return 1\n"}
+        for i in range(1, depth + 1):
+            files[f"m{i}"] = f"from m{i - 1} import *\n"
+        files["caller"] = (f"from m{depth} import *\n"
+                           "def use():\n    return secret()\n")
+        project = _project(files)
+        sym = project.resolve_in("caller", "secret")
+        assert sym is not None and sym.key == "m0:secret"
+        edges = project.edges_from("caller:use")
+        assert [e.dst for e in edges if e.kind == "direct"] == ["m0:secret"]
+
+    def test_init_reexport_resolves_to_the_impl(self):
+        project = Project({
+            "pkg": _summarize(
+                "pkg",
+                "from pkg.impl import helper\n__all__ = ['helper']\n",
+                rel="pkg/__init__.py"),
+            "pkg.impl": _summarize(
+                "pkg.impl", "def helper():\n    return 3\n"),
+            "user": _summarize(
+                "user",
+                "import pkg\ndef go():\n    return pkg.helper()\n"),
+        })
+        sym = project.resolve("pkg.helper")
+        assert sym is not None and sym.key == "pkg.impl:helper"
+        edges = project.edges_from("user:go")
+        assert [e.dst for e in edges] == ["pkg.impl:helper"]
+
+    def test_import_cycle_with_reexports_terminates(self):
+        # a re-exports from b, b re-exports from a: resolution must not
+        # recurse forever and unresolvable names must come back None.
+        project = _project({
+            "a": "from b import ghost\n",
+            "b": "from a import ghost\n",
+        })
+        assert project.resolve_in("a", "ghost") is None
+        assert project.resolve_in("b", "ghost") is None
+
+
+class TestEdgeSoundness:
+    @_settings
+    @given(_import_topologies())
+    def test_every_edge_connects_real_nodes(self, topo):
+        n, imports, aliased = topo
+        files = {}
+        for i in range(n):
+            header = "\n".join(f"import mod{j}" for j in imports[i])
+            body = "\n".join(f"    mod{j}.fn{j}()" for j in imports[i])
+            files[f"mod{i}"] = (f"{header}\ndef fn{i}():\n"
+                                f"{body or '    pass'}\n")
+        project = _project(files)
+        for src in project.functions:
+            for edge in project.edges_from(src):
+                assert edge.src == src
+                assert edge.dst in project.functions
+                assert edge.kind in EDGE_KINDS
+
+    @_settings
+    @given(_import_topologies())
+    def test_reachable_paths_reconstruct_back_to_an_entry(self, topo):
+        n, imports, _aliased = topo
+        files = {}
+        for i in range(n):
+            header = "\n".join(f"import mod{j}" for j in imports[i])
+            body = "\n".join(f"    mod{j}.fn{j}()" for j in imports[i])
+            files[f"mod{i}"] = (f"{header}\ndef fn{i}():\n"
+                                f"{body or '    pass'}\n")
+        project = _project(files)
+        entries = ["mod0:fn0"]
+        pred = project.reachable(entries, EDGE_KINDS)
+        assert "mod0:fn0" in pred
+        for node in pred:
+            path = project.call_path(pred, node)
+            assert path[0] in entries and path[-1] == node
+            for a, b in zip(path, path[1:]):
+                assert any(e.dst == b for e in project.edges_from(a)), (
+                    f"path step {a} -> {b} has no edge")
+
+    def test_self_dispatch_covers_subclass_overrides(self):
+        project = _project({
+            "m": ("class Base:\n"
+                  "    def run(self):\n"
+                  "        return self.step()\n"
+                  "    def step(self):\n"
+                  "        return 0\n"
+                  "class Child(Base):\n"
+                  "    def step(self):\n"
+                  "        return 1\n"),
+        })
+        dsts = {e.dst for e in project.edges_from("m:Base.run")}
+        assert dsts == {"m:Base.step", "m:Child.step"}
+
+    def test_ctor_edge_reaches_init(self):
+        project = _project({
+            "m": ("class Box:\n"
+                  "    def __init__(self):\n"
+                  "        self.value = 0\n"
+                  "def make():\n"
+                  "    return Box()\n"),
+        })
+        edges = project.edges_from("m:make")
+        assert [(e.dst, e.kind) for e in edges] == [
+            ("m:Box.__init__", "ctor")]
