@@ -284,6 +284,80 @@ def check_forward(forward: dict, baseline: dict | None,
     return problems
 
 
+#: Timed repetitions of the corpus ingest sweep, best-of.
+INGEST_REPEATS = 5
+
+#: Gate: end-to-end ingest (parse -> flatten -> symmetry -> autobench)
+#: of the whole vendored corpus must stay under this budget.  The
+#: importer is pure python over a few dozen cards; a second means a
+#: quadratic blowup crept into flattening or symmetry search.
+INGEST_MAX_SECONDS = 1.0
+
+
+def measure_ingest() -> dict:
+    """Importer throughput over the vendored corpus (``ingest`` section)."""
+    from repro.io.ingest import ingest_file
+    from repro.reliability.errors import SpiceParseError
+
+    corpus_dir = REPO_ROOT / "tests" / "corpus"
+    files = sorted(corpus_dir.glob("*.sp"))
+    cards = sum(
+        1 for path in files for line in path.read_text().splitlines()
+        if line.strip() and not line.strip().startswith(("*", "+")))
+
+    best = float("inf")
+    results = {}
+    for _ in range(INGEST_REPEATS):
+        start = time.perf_counter()
+        results = {path.stem: ingest_file(path) for path in files}
+        best = min(best, time.perf_counter() - start)
+
+    # The taxonomy fixture must keep failing typed — a raw ValueError
+    # escaping here is exactly the regression the CI smoke job guards.
+    bad_typed = False
+    try:
+        ingest_file(corpus_dir / "bad" / "unsupported.sp")
+    except SpiceParseError:
+        bad_typed = True
+
+    return {
+        "files": len(files),
+        "cards": cards,
+        "seconds": round(best, 4),
+        "cards_per_second": round(cards / best, 1),
+        "symmetry_pairs": {
+            name: len(res.bench.symmetry.net_pairs)
+            for name, res in sorted(results.items())
+        },
+        "bad_fixture_typed": bad_typed,
+    }
+
+
+def check_ingest(ingest: dict, baseline: dict | None,
+                 max_ratio: float = 3.0) -> list[str]:
+    """Ingest-section gates: absolute budget plus baseline ratio."""
+    problems: list[str] = []
+    if ingest["seconds"] > INGEST_MAX_SECONDS:
+        problems.append(
+            f"corpus ingest took {ingest['seconds']}s "
+            f"(budget {INGEST_MAX_SECONDS}s)")
+    if not ingest["bad_fixture_typed"]:
+        problems.append(
+            "tests/corpus/bad/unsupported.sp no longer fails with "
+            "SpiceParseError — taxonomy escape in the importer")
+    for name, pairs in ingest["symmetry_pairs"].items():
+        if pairs == 0:
+            problems.append(f"no symmetry inferred for corpus file {name}")
+    if baseline is not None and "ingest" in baseline:
+        base_s = float(baseline["ingest"].get("seconds", 0.0))
+        if base_s > 0 and ingest["seconds"] > base_s * max_ratio:
+            problems.append(
+                f"ingest regressed {ingest['seconds'] / base_s:.1f}x "
+                f"({base_s} -> {ingest['seconds']}s, limit "
+                f"{max_ratio:.1f}x)")
+    return problems
+
+
 def measure(scale_name: str, workers: int = 1) -> dict:
     """Run the instrumented pipeline and return the perf payload."""
     scale = SCALES[scale_name]
@@ -358,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
     payload = measure(args.scale, workers=args.workers)
     payload["route"] = measure_route(workers=args.route_workers)
     payload["forward"] = measure_forward()
+    payload["ingest"] = measure_ingest()
 
     # The serve-throughput (benchmarks/bench_serve.py) and chaos
     # (benchmarks/bench_chaos.py) records share this file; carry their
@@ -381,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
             problems = compare_to_baseline(payload, baseline)
         problems += check_route(payload["route"], baseline)
         problems += check_forward(payload["forward"], baseline)
+        problems += check_ingest(payload["ingest"], baseline)
 
     out = write_bench_json(args.out, payload)
     print(f"wrote {out}")
@@ -398,6 +474,9 @@ def main(argv: list[str] | None = None) -> int:
           f"{fwd['amortized_ratio']}x the B=1 per-candidate time "
           f"(f64 parity {fwd['float64_blocked_vs_unbatched_max_abs']:.1e}, "
           f"f32 rel {fwd['float32_vs_float64_max_rel']:.1e})")
+    ing = payload["ingest"]
+    print(f"  ingest: {ing['files']} corpus files / {ing['cards']} cards "
+          f"in {ing['seconds']}s ({ing['cards_per_second']} cards/s)")
 
     if problems:
         print("PERF REGRESSION:")

@@ -49,7 +49,8 @@ from repro.serve import (
     ServeConfig,
 )
 from repro.core import RelaxationConfig
-from repro.eval import SCALES, evaluate_cell, format_table1, format_table2
+from repro.core.dataset import route_and_measure
+from repro.eval import CROSSTOPO_SCALES, SCALES, evaluate_cell, format_table1, format_table2
 from repro.obs import NULL_CONTEXT, RunContext, make_run_id, render_report
 from repro.reliability import DegradationPolicy, ReproError
 from repro.eval.runtime import runtime_breakdown_table
@@ -62,6 +63,8 @@ from repro.io import (
 )
 from repro.io.spice import write_spice
 from repro.model import Gnn3d, Gnn3dConfig, TrainConfig, Trainer
+from repro.router.guidance import uniform_guidance
+from repro.simulation.metrics import METRIC_NAMES
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -359,6 +362,52 @@ def _cmd_export_spice(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.io.ingest import ingest_file
+
+    result = ingest_file(args.netlist, top=args.top)
+    manifest = result.manifest()
+    if args.route:
+        placement = place_benchmark(result.circuit, variant=args.variant,
+                                    seed=args.seed,
+                                    iterations=args.iterations)
+        sample = route_and_measure(result.circuit, placement, generic_40nm(),
+                                   uniform_guidance(),
+                                   testbench_config=result.config)
+        manifest["routed"] = {
+            "wirelength": sample.result.total_wirelength(),
+            "vias": sample.result.total_vias(),
+            "metrics": {name: getattr(sample.metrics, name)
+                        for name in METRIC_NAMES},
+        }
+    text = json.dumps(manifest, indent=2)
+    if args.manifest_out:
+        with open(args.manifest_out, "w") as fh:
+            fh.write(text + "\n")
+    print(text)
+    if args.spice_out:
+        write_spice(result.circuit, args.spice_out)
+        print(f"wrote {args.spice_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_crosstopo(args: argparse.Namespace) -> int:
+    from repro.eval.crosstopo import format_crosstopo_table, run_crosstopo
+
+    result = run_crosstopo(
+        args.netlists,
+        train_designs=tuple(args.train.split(",")),
+        scale=args.scale,
+        seed=args.seed,
+    )
+    table = format_crosstopo_table(result)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(table + "\n")
+    print(table)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="AnalogFold reproduction CLI")
@@ -503,6 +552,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sp.add_argument("circuit")
     p_sp.add_argument("--out", required=True)
     p_sp.set_defaults(func=_cmd_export_spice)
+
+    p_ing = sub.add_parser(
+        "ingest",
+        help="ingest a wild-dialect SPICE netlist (subckt hierarchies, "
+             ".param, unit suffixes) and print the ingest manifest")
+    p_ing.add_argument("netlist", help="path to the .sp file")
+    p_ing.add_argument("--top", help="subcircuit to flatten "
+                                     "(default: auto-detected root)")
+    p_ing.add_argument("--variant", default="A", choices="ABCD")
+    p_ing.add_argument("--seed", type=int, default=0)
+    p_ing.add_argument("--iterations", type=int, default=300,
+                       help="placement iterations when --route is given")
+    p_ing.add_argument("--route", action="store_true",
+                       help="also place, route, and simulate the ingested "
+                            "circuit; adds a 'routed' manifest section")
+    p_ing.add_argument("--manifest-out", metavar="PATH",
+                       help="write the manifest JSON here too")
+    p_ing.add_argument("--spice-out", metavar="PATH",
+                       help="re-export in the repo's round-trip dialect")
+    p_ing.set_defaults(func=_cmd_ingest)
+
+    p_xt = sub.add_parser(
+        "crosstopo",
+        help="train on benchmark OTAs, score ingested netlists zero-shot")
+    p_xt.add_argument("netlists", nargs="+",
+                      help="wild-dialect .sp files to evaluate on")
+    p_xt.add_argument("--train", default="OTA1,OTA2",
+                      help="comma-separated training benchmarks")
+    p_xt.add_argument("--scale", default="smoke",
+                      choices=sorted(CROSSTOPO_SCALES))
+    p_xt.add_argument("--seed", type=int, default=0)
+    p_xt.add_argument("--out", metavar="PATH",
+                      help="write the markdown table here too")
+    p_xt.set_defaults(func=_cmd_crosstopo)
 
     return parser
 

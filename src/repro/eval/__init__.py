@@ -8,6 +8,15 @@ from repro.eval.compare import (
     evaluate_cell,
     normalized_averages,
 )
+from repro.eval.crosstopo import (
+    CROSSTOPO_SCALES,
+    CrossTopoResult,
+    CrossTopoScale,
+    DesignScore,
+    format_crosstopo_table,
+    run_crosstopo,
+    spearman,
+)
 from repro.eval.runtime import runtime_breakdown_table
 from repro.eval.tables import format_table1, format_table2
 from repro.eval.visualize import render_guidance, render_layout
@@ -19,6 +28,13 @@ __all__ = [
     "SCALES",
     "evaluate_cell",
     "normalized_averages",
+    "CROSSTOPO_SCALES",
+    "CrossTopoResult",
+    "CrossTopoScale",
+    "DesignScore",
+    "format_crosstopo_table",
+    "run_crosstopo",
+    "spearman",
     "format_table1",
     "format_table2",
     "runtime_breakdown_table",

@@ -14,7 +14,11 @@ from pathlib import Path
 from repro.netlist.circuit import Circuit
 from repro.netlist.devices import Capacitor, Dummy, MOSFET, MOSType, Resistor
 from repro.netlist.nets import Net, NetType, SymmetryPair
+from repro.reliability.errors import SpiceParseError
 
+#: Sentinel net name the writer emits for unconnected terminals.  The
+#: importer must never materialize it as a real net: a round trip would
+#: otherwise short every floating pin together through one phantom net.
 _FLOATING = "_FLOAT_"
 
 
@@ -65,8 +69,23 @@ def circuit_to_spice(circuit: Circuit) -> str:
     return "\n".join(lines) + "\n"
 
 
-def spice_to_circuit(text: str) -> Circuit:
-    """Parse SPICE-style text produced by :func:`circuit_to_spice`."""
+def _net_from_meta(name: str, meta: dict) -> Net:
+    return Net(
+        name=name,
+        net_type=meta.get("type", NetType.SIGNAL),
+        weight=meta.get("weight", 1.0),
+        self_symmetric=meta.get("self_symmetric", False),
+    )
+
+
+def spice_to_circuit(text: str, path: str | None = None) -> Circuit:
+    """Parse SPICE-style text produced by :func:`circuit_to_spice`.
+
+    Malformed cards (missing ``W=``/``L=``, non-numeric values, duplicate
+    device names, unsupported elements) raise a typed
+    :class:`~repro.reliability.errors.SpiceParseError` carrying ``path``
+    and the one-based line number of the offending card.
+    """
     circuit = Circuit(name="imported")
     # terminal -> net name, gathered first; nets materialize afterwards.
     terminals: list[tuple[str, str, str]] = []  # (device, pin, net)
@@ -77,7 +96,7 @@ def spice_to_circuit(text: str) -> Circuit:
         if net != _FLOATING:
             terminals.append((device, pin, net))
 
-    for raw in text.splitlines():
+    for line_no, raw in enumerate(text.splitlines(), 1):
         line = raw.strip()
         if not line or line == ".END":
             continue
@@ -87,70 +106,97 @@ def spice_to_circuit(text: str) -> Circuit:
         if line.startswith("*.TOPOLOGY"):
             circuit.topology = line.split(None, 1)[1].strip()
             continue
-        if line.startswith("*.DUMMY"):
-            parts = line.split()
-            kwargs = dict(part.split("=") for part in parts[2:])
-            circuit.add_device(Dummy(name=parts[1], width=float(kwargs["W"]),
-                                     height=float(kwargs["H"])))
-            continue
-        if line.startswith("*.NETTYPE"):
-            parts = line.split()
-            meta = {"type": NetType(parts[2])}
-            for extra in parts[3:]:
-                key, value = extra.split("=")
-                if key == "WEIGHT":
-                    meta["weight"] = float(value)
-                elif key == "SELFSYM":
-                    meta["self_symmetric"] = bool(int(value))
-            net_meta[parts[1]] = meta
-            continue
-        if line.startswith("*.SYMNET"):
-            parts = line.split()
-            pairs = tuple(
-                tuple(token.split(":")) for token in parts[3:]
-            )
-            sym_lines.append((parts[1], parts[2], pairs))
-            continue
-        if line.startswith("*"):
-            continue
+        try:
+            if line.startswith("*.DUMMY"):
+                parts = line.split()
+                kwargs = dict(part.split("=") for part in parts[2:])
+                circuit.add_device(Dummy(name=parts[1],
+                                         width=float(kwargs["W"]),
+                                         height=float(kwargs["H"])))
+                continue
+            if line.startswith("*.NETTYPE"):
+                parts = line.split()
+                meta = {"type": NetType(parts[2])}
+                for extra in parts[3:]:
+                    key, value = extra.split("=")
+                    if key == "WEIGHT":
+                        meta["weight"] = float(value)
+                    elif key == "SELFSYM":
+                        meta["self_symmetric"] = bool(int(value))
+                if parts[1] != _FLOATING:
+                    net_meta[parts[1]] = meta
+                continue
+            if line.startswith("*.SYMNET"):
+                parts = line.split()
+                pairs = tuple(
+                    tuple(token.split(":")) for token in parts[3:]
+                )
+                sym_lines.append((parts[1], parts[2], pairs))
+                continue
+            if line.startswith("*"):
+                continue
 
-        parts = line.split()
-        card, name = parts[0][0].upper(), parts[0][1:]
-        if card == "M":
-            kwargs = dict(p.split("=") for p in parts[6:])
-            mos = MOSFET(
-                name=name,
-                mos_type=MOSType.PMOS if parts[5] == "pch" else MOSType.NMOS,
-                w=float(kwargs["W"].rstrip("u")),
-                l=float(kwargs["L"].rstrip("u")),
-                fingers=int(kwargs.get("NF", 1)),
-                bias_current=float(kwargs.get("IBIAS", 0.0) or 1e-9),
-                is_bias_device=bool(int(kwargs.get("BIASDEV", 0))),
-            )
-            circuit.add_device(mos)
-            for pin, net in zip(("D", "G", "S", "B"), parts[1:5]):
-                note_terminal(name, pin, net)
-        elif card == "C":
-            circuit.add_device(Capacitor(name=name, value=float(parts[3])))
-            note_terminal(name, "PLUS", parts[1])
-            note_terminal(name, "MINUS", parts[2])
-        elif card == "R":
-            circuit.add_device(Resistor(name=name, value=float(parts[3])))
-            note_terminal(name, "PLUS", parts[1])
-            note_terminal(name, "MINUS", parts[2])
-        else:
-            raise ValueError(f"unsupported SPICE card: {line!r}")
+            parts = line.split()
+            card, name = parts[0][0].upper(), parts[0][1:]
+            if card == "M":
+                if len(parts) < 6:
+                    raise SpiceParseError(
+                        f"MOSFET card needs 4 terminals and a model: "
+                        f"{line!r}", path=path, line_no=line_no)
+                kwargs = dict(p.split("=") for p in parts[6:])
+                for required in ("W", "L"):
+                    if required not in kwargs:
+                        raise SpiceParseError(
+                            f"MOSFET {parts[0]} is missing {required}=",
+                            path=path, line_no=line_no)
+                mos = MOSFET(
+                    name=name,
+                    mos_type=(MOSType.PMOS if parts[5] == "pch"
+                              else MOSType.NMOS),
+                    w=float(kwargs["W"].rstrip("u")),
+                    l=float(kwargs["L"].rstrip("u")),
+                    fingers=int(kwargs.get("NF", 1)),
+                    bias_current=float(kwargs.get("IBIAS", 0.0) or 1e-9),
+                    is_bias_device=bool(int(kwargs.get("BIASDEV", 0))),
+                )
+                circuit.add_device(mos)
+                for pin, net in zip(("D", "G", "S", "B"), parts[1:5]):
+                    note_terminal(name, pin, net)
+            elif card == "C":
+                circuit.add_device(Capacitor(name=name,
+                                             value=float(parts[3])))
+                note_terminal(name, "PLUS", parts[1])
+                note_terminal(name, "MINUS", parts[2])
+            elif card == "R":
+                circuit.add_device(Resistor(name=name,
+                                            value=float(parts[3])))
+                note_terminal(name, "PLUS", parts[1])
+                note_terminal(name, "MINUS", parts[2])
+            else:
+                raise SpiceParseError(
+                    f"unsupported SPICE card: {line!r}",
+                    path=path, line_no=line_no)
+        except SpiceParseError:
+            raise
+        except (ValueError, KeyError, IndexError) as exc:
+            # Malformed card: short tokens, non-numeric values, duplicate
+            # device names (Circuit.add_device raises ValueError), ...
+            raise SpiceParseError(
+                f"malformed card {line!r}: {exc}",
+                path=path, line_no=line_no) from exc
 
     for device, pin, net_name in terminals:
         if net_name not in circuit.nets:
-            meta = net_meta.get(net_name, {})
-            circuit.add_net(Net(
-                name=net_name,
-                net_type=meta.get("type", NetType.SIGNAL),
-                weight=meta.get("weight", 1.0),
-                self_symmetric=meta.get("self_symmetric", False),
-            ))
+            circuit.add_net(_net_from_meta(net_name,
+                                           net_meta.get(net_name, {})))
         circuit.net(net_name).connect(device, pin)
+
+    # Declared nets never referenced by a device card (e.g. a probe net
+    # or a net whose only terminals float) keep their declared type and
+    # weight instead of being silently dropped.
+    for net_name, meta in net_meta.items():
+        if net_name not in circuit.nets:
+            circuit.add_net(_net_from_meta(net_name, meta))
 
     for net_a, net_b, device_pairs in sym_lines:
         circuit.add_symmetry_pair(SymmetryPair(net_a, net_b, device_pairs))
@@ -166,4 +212,4 @@ def write_spice(circuit: Circuit, path: str | Path) -> None:
 
 def read_spice(path: str | Path) -> Circuit:
     """Read a circuit from a .sp file."""
-    return spice_to_circuit(Path(path).read_text())
+    return spice_to_circuit(Path(path).read_text(), path=str(path))

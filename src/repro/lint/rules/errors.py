@@ -29,13 +29,14 @@ from repro.lint.rules.base import (
 #: Packages whose raises must stay inside the taxonomy (stage code the
 #: degradation policy supervises).
 STAGE_PACKAGES = ("repro.core", "repro.router",
-                  "repro.extraction", "repro.simulation", "repro.serve")
+                  "repro.extraction", "repro.simulation", "repro.serve",
+                  "repro.io")
 
 #: The ReproError taxonomy (see repro/reliability/errors.py).
 TAXONOMY = frozenset({
     "ReproError", "RoutingError", "ExtractionError", "SimulationError",
     "RelaxationError", "DataQualityError", "CheckpointError", "ServeError",
-    "ServeTimeoutError",
+    "ServeTimeoutError", "IngestError", "SpiceParseError",
 })
 
 #: Builtin exceptions signalling caller contract violations — allowed

@@ -80,18 +80,21 @@ class Trainer:
         self.optimizer = Adam(model.parameters(), lr=self.config.lr)
         self.history = TrainHistory()
 
-    def _sample_loss(self, sample: TrainSample) -> Tensor:
-        pred = self.model(self.graph, Tensor(sample.guidance))
+    def _sample_loss(self, sample: TrainSample,
+                     graph: HeteroGraph | None = None) -> Tensor:
+        pred = self.model(graph if graph is not None else self.graph,
+                          Tensor(sample.guidance))
         err = pred - Tensor(sample.targets)
         return (err * err).mean()
 
-    def evaluate(self, samples: list[TrainSample]) -> float:
+    def evaluate(self, samples: list[TrainSample],
+                 graph: HeteroGraph | None = None) -> float:
         """Mean L2 loss over samples (no gradient)."""
         if not samples:
             return float("nan")
         total = 0.0
         for sample in samples:
-            total += self._sample_loss(sample).item()
+            total += self._sample_loss(sample, graph=graph).item()
         return total / len(samples)
 
     def fit(self, samples: list[TrainSample]) -> TrainHistory:
@@ -131,6 +134,72 @@ class Trainer:
 
                 if val:
                     val_loss = self.evaluate(val)
+                    self.history.val_loss.append(val_loss)
+                    span.set(val_loss=val_loss)
+                    if val_loss < best_val - 1e-6:
+                        best_val = val_loss
+                        stale = 0
+                    elif cfg.patience:
+                        stale += 1
+                        if stale >= cfg.patience:
+                            span.set(early_stop=True)
+                            stop = True
+            if stop:
+                break
+        return self.history
+
+    def fit_multi(
+        self, designs: list[tuple[HeteroGraph, list[TrainSample]]]
+    ) -> TrainHistory:
+        """Train one model across several designs at once.
+
+        The GNN is graph-parametric (fixed feature widths, per-forward
+        topology), so samples from different circuits share weights; the
+        validation split is the tail fraction *of each design* so every
+        topology is represented in the val loss.  ``self.graph`` is
+        ignored — each sample carries its own graph.
+        """
+        pool: list[tuple[HeteroGraph, TrainSample]] = []
+        val: list[tuple[HeteroGraph, TrainSample]] = []
+        cfg = self.config
+        for graph, samples in designs:
+            n_val = (max(1, int(len(samples) * cfg.val_fraction))
+                     if cfg.val_fraction and len(samples) > 1 else 0)
+            split = len(samples) - n_val
+            pool.extend((graph, s) for s in samples[:split])
+            val.extend((graph, s) for s in samples[split:])
+        if len(pool) < 2:
+            raise ValueError(
+                f"need at least 2 training samples across designs, "
+                f"got {len(pool)}")
+
+        rng = np.random.default_rng(cfg.seed)
+        best_val = float("inf")
+        stale = 0
+        stop = False
+        order = np.arange(len(pool))
+        for epoch in range(cfg.epochs):
+            with self.obs.span("train.epoch", epoch=epoch) as span:
+                rng.shuffle(order)
+                epoch_loss = 0.0
+                for start in range(0, len(order), cfg.batch_size):
+                    batch = order[start: start + cfg.batch_size]
+                    self.optimizer.zero_grad()
+                    for idx in batch:
+                        graph, sample = pool[idx]
+                        loss = self._sample_loss(sample, graph=graph)
+                        loss.backward(np.asarray(1.0 / len(batch)))
+                        epoch_loss += loss.item()
+                    self.optimizer.step()
+                train_loss = epoch_loss / len(pool)
+                self.history.train_loss.append(train_loss)
+                span.set(train_loss=train_loss)
+
+                if val:
+                    total = 0.0
+                    for graph, sample in val:
+                        total += self._sample_loss(sample, graph=graph).item()
+                    val_loss = total / len(val)
                     self.history.val_loss.append(val_loss)
                     span.set(val_loss=val_loss)
                     if val_loss < best_val - 1e-6:

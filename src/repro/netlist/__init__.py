@@ -12,8 +12,19 @@ from repro.netlist.devices import (
     Resistor,
 )
 from repro.netlist.nets import Net, NetType, SymmetryPair
+from repro.netlist.autobench import (
+    AutobenchReport,
+    assign_bias_currents,
+    synthesize_testbench,
+)
 from repro.netlist.extensions import EXTENSION_BENCHMARKS, build_folded_cascode
 from repro.netlist.otas import BENCHMARKS, build_benchmark, build_ota1, build_ota2, build_ota3, build_ota4
+from repro.netlist.symmetry import (
+    SymmetryReport,
+    apply_symmetry,
+    device_fingerprint,
+    infer_symmetry,
+)
 
 __all__ = [
     "Circuit",
@@ -37,4 +48,11 @@ __all__ = [
     "build_ota2",
     "build_ota3",
     "build_ota4",
+    "AutobenchReport",
+    "assign_bias_currents",
+    "synthesize_testbench",
+    "SymmetryReport",
+    "apply_symmetry",
+    "device_fingerprint",
+    "infer_symmetry",
 ]

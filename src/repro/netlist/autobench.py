@@ -1,0 +1,286 @@
+"""Automatic testbench synthesis for ingested circuits.
+
+The repo's benchmarks ship with hand-labeled net types and a
+:class:`~repro.simulation.testbench.TestbenchConfig`; an ingested
+netlist has neither.  This module classifies nets by name and, where
+names carry no signal, by structure:
+
+* **ground** — conventional names (``VSS``/``GND``/``0``), else the net
+  sinking the most NMOS sources;
+* **power** — conventional names (``VDD``/``VCC``), else the net
+  feeding the most PMOS sources;
+* **inputs** — a symmetric, gate-only net pair (the differential pair's
+  gates), name hints breaking ties;
+* **outputs** — name hints first, else symmetric drain pairs, else the
+  most-loaded single-ended drain net (benched against ground);
+* **clock / bias** — name hints plus gate-only leftovers; both are
+  stiffly driven via ``dc_drive_nets`` so the MNA system stays regular.
+
+Bias currents, absent from a schematic netlist, are assigned with a
+W/L-proportional current-density heuristic; diode-connected devices are
+flagged ``is_bias_device`` so the small-signal model treats them as
+loads rather than gain elements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import MOSFET, MOSType
+from repro.netlist.nets import NetType
+from repro.netlist.symmetry import SymmetryReport, apply_symmetry, infer_symmetry
+from repro.reliability.errors import IngestError
+
+_GROUND_NAMES = ("VSS", "GND", "AGND", "DGND", "VGND", "VSSA", "VSSD", "0")
+_POWER_NAMES = ("VDD", "VCC", "AVDD", "DVDD", "VPWR", "VDDA", "VDDD")
+_CLOCK_HINTS = ("CLK", "CK", "PHI", "CLOCK")
+_INPUT_HINTS = ("VIN", "VIP", "INP", "INN", "INM", "IN+", "IN-", "IN_")
+_OUTPUT_HINTS = ("OUT", "VON", "VOP", "VO_")
+
+#: Saturation current density heuristic: amperes per unit W/L ratio.
+_J_PER_WL = 5e-6
+_I_MIN, _I_MAX = 1e-6, 5e-4
+
+
+def _name_matches(net: str, hints: tuple[str, ...]) -> bool:
+    upper = net.upper()
+    return any(hint in upper for hint in hints)
+
+
+def _source_histogram(circuit: Circuit, polarity: MOSType) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    drains: set[str] = set()
+    for net in circuit.nets.values():
+        for device, pin in net.connections:
+            mos = circuit.devices[device]
+            if not isinstance(mos, MOSFET):
+                continue
+            if pin == "S" and mos.mos_type is polarity:
+                counts[net.name] = counts.get(net.name, 0) + 1
+            elif pin == "D":
+                drains.add(net.name)
+    # A supply rail is never a device drain; without this filter the
+    # tail node of a differential pair (two sources, one drain) would
+    # out-count the actual rail.
+    filtered = {n: c for n, c in counts.items() if n not in drains}
+    return filtered or counts
+
+
+def _gate_only(circuit: Circuit, net_name: str) -> bool:
+    net = circuit.net(net_name)
+    return bool(net.connections) and all(
+        pin == "G" for _, pin in net.connections)
+
+
+def _has_drain(circuit: Circuit, net_name: str) -> bool:
+    return any(pin == "D" for _, pin in circuit.net(net_name).connections)
+
+
+@dataclass
+class AutobenchReport:
+    """What the synthesis decided, for manifests and debugging."""
+
+    power: list[str] = field(default_factory=list)
+    ground: list[str] = field(default_factory=list)
+    inputs: tuple[str, str] | None = None
+    outputs: tuple[str, str] | None = None
+    single_ended: bool = False
+    clocks: list[str] = field(default_factory=list)
+    biases: list[str] = field(default_factory=list)
+    dc_drive_nets: list[str] = field(default_factory=list)
+    symmetry: SymmetryReport = field(default_factory=SymmetryReport)
+
+    def config(self):
+        """The synthesized :class:`TestbenchConfig`.
+
+        Imported lazily: ``repro.simulation`` transitively imports
+        ``repro.netlist``, so a module-level import here would be
+        circular.
+        """
+        from repro.simulation.testbench import TestbenchConfig
+
+        if self.inputs is None or self.outputs is None:
+            raise IngestError(
+                "autobench classification is incomplete "
+                "(no input or output nets)", stage="ingest")
+        return TestbenchConfig(
+            input_nets=self.inputs,
+            output_nets=self.outputs,
+            dc_drive_nets=tuple(self.dc_drive_nets),
+        )
+
+
+def classify_supplies(circuit: Circuit) -> tuple[list[str], list[str]]:
+    """(power, ground) net names, by convention then by structure."""
+    power = sorted(n for n in circuit.nets
+                   if _name_matches(n, _POWER_NAMES))
+    ground = sorted(n for n in circuit.nets
+                    if n == "0" or _name_matches(n, _GROUND_NAMES))
+    if not power:
+        hist = _source_histogram(circuit, MOSType.PMOS)
+        if hist:
+            best = max(sorted(hist), key=lambda n: hist[n])
+            if best not in ground:
+                power = [best]
+    if not ground:
+        hist = _source_histogram(circuit, MOSType.NMOS)
+        hist = {n: c for n, c in hist.items() if n not in power}
+        if hist:
+            ground = [max(sorted(hist), key=lambda n: hist[n])]
+    return power, ground
+
+
+def _pick_inputs(circuit: Circuit, report: SymmetryReport,
+                 taken: set[str]) -> tuple[str, str] | None:
+    """The gate-only symmetric pair with the most gate terminals."""
+    best: tuple[int, int, tuple[str, str]] | None = None
+    for net_a, net_b in report.net_pairs:
+        if net_a in taken or net_b in taken:
+            continue
+        if not (_gate_only(circuit, net_a) and _gate_only(circuit, net_b)):
+            continue
+        hinted = int(_name_matches(net_a, _INPUT_HINTS)
+                     or _name_matches(net_b, _INPUT_HINTS))
+        degree = circuit.net(net_a).degree
+        key = (hinted, degree, (net_a, net_b))
+        if best is None or key > best:
+            best = key
+    if best is None:
+        return None
+    net_a, net_b = best[2]
+    # Positive input first when names tell them apart (INP before INN).
+    if _name_matches(net_b, ("INP", "VIP", "IN+")) \
+            and not _name_matches(net_a, ("INP", "VIP", "IN+")):
+        return net_b, net_a
+    return net_a, net_b
+
+
+def _pick_outputs(circuit: Circuit, report: SymmetryReport, taken: set[str],
+                  ground: list[str]) -> tuple[tuple[str, str] | None, bool]:
+    """((pos, neg), single_ended); a single-ended output benches against
+    ground so the differential probe reads the full swing."""
+    for net_a, net_b in report.net_pairs:
+        if net_a in taken or net_b in taken:
+            continue
+        if _has_drain(circuit, net_a) and _has_drain(circuit, net_b):
+            if _name_matches(net_a, _OUTPUT_HINTS) \
+                    or _name_matches(net_b, _OUTPUT_HINTS):
+                return (net_a, net_b), False
+    candidates = [n for n in sorted(circuit.nets)
+                  if n not in taken and _has_drain(circuit, n)
+                  and not _gate_only(circuit, n)]
+    hinted = [n for n in candidates if _name_matches(n, _OUTPUT_HINTS)]
+    pool = hinted or candidates
+    if not pool or not ground:
+        return None, False
+    # Most capacitively/drain-loaded net wins; name hints already won.
+    best = max(pool, key=lambda n: (circuit.net(n).degree, n))
+    return (best, ground[0]), True
+
+
+def assign_bias_currents(circuit: Circuit,
+                         bias_nets: frozenset[str] = frozenset()) -> None:
+    """W/L-proportional bias currents + bias-device flags, in place.
+
+    A device is a bias element when it is diode-connected, when its gate
+    hangs on an externally-driven bias/clock net (tail and cascode
+    current sources), or when its gate shares a net with a
+    diode-connected gate (current-mirror outputs).
+    """
+    diode_gate_nets: set[str] = set()
+    for device in circuit.devices.values():
+        if not isinstance(device, MOSFET):
+            continue
+        gate = circuit.net_of(device.name, "G")
+        drain = circuit.net_of(device.name, "D")
+        if gate is not None and drain is not None \
+                and gate.name == drain.name:
+            diode_gate_nets.add(gate.name)
+    for device in circuit.devices.values():
+        if not isinstance(device, MOSFET):
+            continue
+        current = _J_PER_WL * device.w * device.fingers / device.l
+        device.bias_current = min(_I_MAX, max(_I_MIN, current))
+        gate = circuit.net_of(device.name, "G")
+        if gate is not None and (gate.name in diode_gate_nets
+                                 or gate.name in bias_nets):
+            device.is_bias_device = True
+
+
+def synthesize_testbench(circuit: Circuit) -> AutobenchReport:
+    """Classify nets, infer symmetry, and build a testbench config.
+
+    Mutates the circuit: net types are set, inferred symmetry pairs and
+    self-symmetric flags are applied, bias currents are assigned.
+    Raises :class:`~repro.reliability.errors.IngestError` when no
+    input pair or output net can be identified.
+    """
+    report = AutobenchReport()
+    report.power, report.ground = classify_supplies(circuit)
+    supplies = frozenset(report.power) | frozenset(report.ground)
+
+    report.symmetry = infer_symmetry(circuit, exclude=supplies)
+    apply_symmetry(circuit, report.symmetry)
+
+    taken: set[str] = set(supplies)
+    report.clocks = sorted(
+        n for n in circuit.nets
+        if n not in taken and _name_matches(n, _CLOCK_HINTS))
+    taken.update(report.clocks)
+
+    report.inputs = _pick_inputs(circuit, report.symmetry, taken)
+    if report.inputs is None:
+        # No symmetric gate pair — fall back to name-hinted gate nets.
+        hinted = [n for n in sorted(circuit.nets)
+                  if n not in taken and _gate_only(circuit, n)
+                  and _name_matches(n, _INPUT_HINTS)]
+        if len(hinted) >= 2:
+            report.inputs = (hinted[0], hinted[1])
+    if report.inputs is None:
+        raise IngestError(
+            "autobench could not identify a differential input pair "
+            "(no symmetric gate-only nets, no VIN*/IN* names)",
+            stage="ingest", details={"circuit": circuit.name})
+    taken.update(report.inputs)
+
+    report.outputs, report.single_ended = _pick_outputs(
+        circuit, report.symmetry, taken, report.ground)
+    if report.outputs is None:
+        raise IngestError(
+            "autobench could not identify an output net",
+            stage="ingest", details={"circuit": circuit.name})
+    taken.update(report.outputs)
+
+    # Leftover gate-only nets are external biases: no device drives
+    # them, so without a stiff drive the MNA matrix is singular.
+    report.biases = sorted(
+        n for n in circuit.nets
+        if n not in taken and _gate_only(circuit, n))
+    report.dc_drive_nets = sorted(set(report.clocks) | set(report.biases))
+
+    assign_bias_currents(
+        circuit, frozenset(report.biases) | frozenset(report.clocks))
+    _apply_net_types(circuit, report)
+    circuit.validate()
+    return report
+
+
+def _apply_net_types(circuit: Circuit, report: AutobenchReport) -> None:
+    for name in report.power:
+        circuit.net(name).net_type = NetType.POWER
+    for name in report.ground:
+        circuit.net(name).net_type = NetType.GROUND
+    for name in report.clocks:
+        circuit.net(name).net_type = NetType.CLOCK
+    for name in report.biases:
+        circuit.net(name).net_type = NetType.BIAS
+    if report.inputs:
+        for name in report.inputs:
+            circuit.net(name).net_type = NetType.INPUT
+    if report.outputs:
+        outputs = (report.outputs[:1] if report.single_ended
+                   else report.outputs)
+        for name in outputs:
+            circuit.net(name).net_type = NetType.OUTPUT
+            circuit.net(name).weight = 2.0

@@ -1,0 +1,197 @@
+"""Structural symmetry inference for imported circuits.
+
+The repo's own benchmarks carry hand-written symmetry constraints; a
+netlist ingested from the wild carries none.  This module recovers them
+from structure alone: two devices are a *matched pair* when they share an
+electrical fingerprint (type, polarity, W, L, fingers — or component
+value) and their pin connectivity is mirrored, i.e. mapping each pin's
+net of one device onto the other's yields a globally consistent net
+involution.  Shared nets (a common source node, a supply) map to
+themselves; distinct nets become symmetric net pairs.
+
+The search is greedy and deterministic: candidate device pairs are
+scored (differential signatures first), then accepted only when their
+implied net mapping is consistent with everything accepted so far and
+each device is used at most once.  Cross-coupled pairs (comparator
+latches: A.G on B's drain net and vice versa) map consistently and are
+found without special-casing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.devices import Capacitor, MOSFET, Resistor
+from repro.netlist.nets import SymmetryPair
+
+#: Pins that participate in the mirror map, per device class.  Bulk is a
+#: tap in this flow and MOSFET cards may leave it floating, so it is out.
+_MIRROR_PINS = {
+    MOSFET: ("D", "G", "S"),
+    Capacitor: ("PLUS", "MINUS"),
+    Resistor: ("PLUS", "MINUS"),
+}
+
+
+def device_fingerprint(device) -> tuple | None:
+    """Hashable electrical identity; None for non-matchable devices."""
+    if isinstance(device, MOSFET):
+        return ("M", device.mos_type.value, round(device.w, 6),
+                round(device.l, 6), device.fingers)
+    if isinstance(device, Capacitor):
+        return ("C", round(device.value, 21))
+    if isinstance(device, Resistor):
+        return ("R", round(device.value, 6))
+    return None
+
+
+@dataclass
+class SymmetryReport:
+    """Everything the inference recovered, ready to apply to a Circuit."""
+
+    net_pairs: list[tuple[str, str]] = field(default_factory=list)
+    self_symmetric: list[str] = field(default_factory=list)
+    device_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: net pair -> mirrored device pairs touching it
+    pair_devices: dict[tuple[str, str], list[tuple[str, str]]] = field(
+        default_factory=dict)
+
+
+def _pin_nets(circuit: Circuit, device: str,
+              pins: tuple[str, ...]) -> list[str | None]:
+    out = []
+    for pin in pins:
+        net = circuit.net_of(device, pin)
+        out.append(net.name if net is not None else None)
+    return out
+
+
+def _implied_mapping(circuit: Circuit, dev_a: str, dev_b: str,
+                     pins: tuple[str, ...]) -> dict[str, str] | None:
+    """Net mapping implied by mirroring dev_a onto dev_b, or None if the
+    pair is inconsistent on its own (one net would need two partners)."""
+    nets_a = _pin_nets(circuit, dev_a, pins)
+    nets_b = _pin_nets(circuit, dev_b, pins)
+    mapping: dict[str, str] = {}
+    for net_a, net_b in zip(nets_a, nets_b):
+        if (net_a is None) != (net_b is None):
+            return None  # a floating pin can only mirror a floating pin
+        if net_a is None:
+            continue
+        for src, dst in ((net_a, net_b), (net_b, net_a)):
+            if mapping.setdefault(src, dst) != dst:
+                return None
+    return mapping
+
+
+def _pair_score(circuit: Circuit, dev_a: str, dev_b: str,
+                mapping: dict[str, str]) -> tuple:
+    """Sort key: most-differential candidate pairs first.
+
+    More distinct-net mirror edges means a stronger structural claim
+    (input pairs, mirrored branches) and should win over degenerate
+    pairs that only share supply nets.
+    """
+    mirrored = sum(1 for src, dst in mapping.items() if src != dst)
+    shared = sum(1 for src, dst in mapping.items() if src == dst)
+    return (-mirrored, -shared, dev_a, dev_b)
+
+
+def infer_symmetry(circuit: Circuit,
+                   exclude: frozenset[str] = frozenset()) -> SymmetryReport:
+    """Recover symmetric net pairs and self-symmetric nets structurally.
+
+    Args:
+        circuit: the circuit to analyze (typically freshly ingested).
+        exclude: net names never emitted as symmetric pairs or
+            self-symmetric nets (supplies — they are stiffly driven, so
+            mirroring them buys nothing and bloats the constraint set).
+    """
+    candidates = []
+    by_fingerprint: dict[tuple, list[str]] = {}
+    for name in sorted(circuit.devices):
+        fp = device_fingerprint(circuit.devices[name])
+        if fp is not None:
+            by_fingerprint.setdefault(fp, []).append(name)
+
+    for fp, names in sorted(by_fingerprint.items(), key=lambda kv: kv[1]):
+        for dev_a, dev_b in combinations(names, 2):
+            pins = _MIRROR_PINS[type(circuit.devices[dev_a])]
+            mapping = _implied_mapping(circuit, dev_a, dev_b, pins)
+            if mapping is None:
+                continue
+            if not any(src != dst for src, dst in mapping.items()):
+                continue  # fully shared nets: parallel, not mirrored
+            candidates.append((dev_a, dev_b, mapping))
+
+    candidates.sort(key=lambda c: _pair_score(circuit, c[0], c[1], c[2]))
+
+    partner: dict[str, str] = {}
+    used: set[str] = set()
+    accepted: list[tuple[str, str, dict[str, str]]] = []
+    for dev_a, dev_b, mapping in candidates:
+        if dev_a in used or dev_b in used:
+            continue
+        if any(partner.get(src, dst) != dst for src, dst in mapping.items()):
+            continue
+        partner.update(mapping)
+        used.update((dev_a, dev_b))
+        accepted.append((dev_a, dev_b, mapping))
+
+    report = SymmetryReport()
+    seen_pairs: set[tuple[str, str]] = set()
+    for dev_a, dev_b, mapping in accepted:
+        report.device_pairs.append((dev_a, dev_b))
+        nets_a = {net for net in
+                  _pin_nets(circuit, dev_a,
+                            _MIRROR_PINS[type(circuit.devices[dev_a])])
+                  if net is not None}
+        for src, dst in sorted(mapping.items()):
+            if src >= dst:
+                continue  # each unordered net pair once
+            key = (src, dst)
+            if key[0] in exclude or key[1] in exclude:
+                continue
+            if key not in seen_pairs:
+                if circuit.net(key[0]).degree != circuit.net(key[1]).degree:
+                    continue  # unbalanced nets cannot be mirror-routed
+                seen_pairs.add(key)
+                report.net_pairs.append(key)
+                report.pair_devices[key] = []
+            if key in report.pair_devices:
+                # Orient: left device sits on the pair's first net (a
+                # cross-coupled device sits on both; keep sorted order).
+                ordered = ((dev_a, dev_b) if key[0] in nets_a
+                           else (dev_b, dev_a))
+                if ordered not in report.pair_devices[key]:
+                    report.pair_devices[key].append(ordered)
+
+    # Shared (self-mapped) non-supply nets touched by ≥1 mirrored pair
+    # must straddle the symmetry axis.
+    self_sym: set[str] = set()
+    for dev_a, dev_b, mapping in accepted:
+        if not any(s != d for s, d in mapping.items()):
+            continue
+        for src, dst in mapping.items():
+            if src == dst and src not in exclude:
+                self_sym.add(src)
+    report.self_symmetric = sorted(self_sym)
+    return report
+
+
+def apply_symmetry(circuit: Circuit, report: SymmetryReport) -> Circuit:
+    """Write an inference report onto a circuit in place (chainable)."""
+    existing = {(p.net_a, p.net_b) for p in circuit.symmetry_pairs}
+    existing |= {(p.net_b, p.net_a) for p in circuit.symmetry_pairs}
+    for net_a, net_b in report.net_pairs:
+        if (net_a, net_b) in existing:
+            continue
+        circuit.add_symmetry_pair(SymmetryPair(
+            net_a, net_b,
+            tuple(report.pair_devices.get((net_a, net_b), ()))))
+    for net in report.self_symmetric:
+        circuit.net(net).self_symmetric = True
+    circuit.validate()
+    return circuit

@@ -22,10 +22,12 @@ from repro.reliability.errors import (
     CheckpointError,
     DataQualityError,
     ExtractionError,
+    IngestError,
     RelaxationError,
     ReproError,
     RoutingError,
     ServeError,
+    SpiceParseError,
     ServeTimeoutError,
     SimulationError,
     error_for_stage,
@@ -62,6 +64,8 @@ __all__ = [
     "CheckpointError",
     "ServeError",
     "ServeTimeoutError",
+    "IngestError",
+    "SpiceParseError",
     "error_for_stage",
     "RetryPolicy",
     "retry",

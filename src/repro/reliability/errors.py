@@ -120,6 +120,50 @@ class CheckpointError(ReproError):
     """A checkpoint file is unreadable or belongs to a different run."""
 
 
+class IngestError(ReproError):
+    """External-netlist ingestion failed (unsupported construct, no
+    viable top cell, symmetry/testbench synthesis could not produce a
+    routable scenario)."""
+
+
+class SpiceParseError(IngestError):
+    """A SPICE netlist could not be parsed: malformed device card,
+    unresolvable parameter or subcircuit reference, or an unsupported
+    element.  Carries the source path and one-based line number so the
+    offending card is addressable.
+
+    Args:
+        message: human-readable description.
+        path: source file (``"<string>"`` for in-memory text).
+        line_no: one-based line number of the offending card.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line_no: int | None = None,
+        **kwargs: Any,
+    ) -> None:
+        details = dict(kwargs.pop("details", None) or {})
+        if path is not None:
+            details.setdefault("path", path)
+        if line_no is not None:
+            details.setdefault("line_no", line_no)
+        kwargs.setdefault("stage", "ingest")
+        super().__init__(message, details=details, **kwargs)
+        self.path = path
+        self.line_no = line_no
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.path is None and self.line_no is None:
+            return base
+        where = f"{self.path or '<string>'}:{self.line_no or '?'}"
+        return f"{where}: {base}"
+
+
 class ServeError(ReproError):
     """A scoring-service failure: rejected admission (queue full), a
     model-registry artifact that fails integrity checks, or a request
@@ -141,6 +185,7 @@ STAGE_ERRORS: dict[str, type[ReproError]] = {
     "simulation": SimulationError,
     "relaxation": RelaxationError,
     "serve": ServeError,
+    "ingest": IngestError,
 }
 
 

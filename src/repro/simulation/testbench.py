@@ -41,6 +41,10 @@ class TestbenchConfig:
         load_cap: external load capacitance per output (farad).
         mismatch_sigma: relative device mismatch; gives schematics a finite
             CMRR baseline.
+        dc_drive_nets: extra nets pinned to AC ground through a stiff
+            conductance (clocks, external bias voltages).  Auto-synthesized
+            benches use this for gate-only nets that would otherwise leave
+            the MNA matrix singular.
     """
 
     __test__ = False  # "Test" prefix is domain naming, not a pytest case
@@ -49,6 +53,7 @@ class TestbenchConfig:
     output_nets: tuple[str, str] = ("VOUTP", "VOUTN")
     load_cap: float = 0.5e-12
     mismatch_sigma: float = 5e-7
+    dc_drive_nets: tuple[str, ...] = ()
 
 
 class Testbench:
@@ -136,6 +141,9 @@ class Testbench:
 
         # Testbench fixtures: stiff input drives and output loads.
         for net in cfg.input_nets:
+            if net in self.circuit.nets:
+                system.add_conductance(self.net_node(net), MnaSystem.GROUND, G_STIFF)
+        for net in cfg.dc_drive_nets:
             if net in self.circuit.nets:
                 system.add_conductance(self.net_node(net), MnaSystem.GROUND, G_STIFF)
         for net in cfg.output_nets:

@@ -1,0 +1,5 @@
+* deliberately unsupported construct: a bipolar transistor card.
+* ingestion must fail with a typed SpiceParseError, never a raw crash.
+M1 d g s b nch W=1u L=0.1u
+Q1 c b e npn_std
+.end

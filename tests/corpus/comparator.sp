@@ -1,0 +1,16 @@
+* Dynamic latched comparator (StrongARM-style core)
+* subckt with header param defaults overridden at the instance
+.subckt dynlatch inp inn outp outn clk vdd vss win=3u
+MN_IN_P dip inp tail vss nch W=win L=0.24u
+MN_IN_N din inn tail vss nch W=win L=0.24u
+MN_TAIL tail clk vss vss nch W=6u L=0.24u
+MN_LAT_P outp outn dip vss nch W=2u L=0.18u
+MN_LAT_N outn outp din vss nch W=2u L=0.18u
+MP_LAT_P outp outn vdd vdd pch W=4u L=0.18u
+MP_LAT_N outn outp vdd vdd pch W=4u L=0.18u
+MP_PRE_P outp clk vdd vdd pch W=1.5u L=0.18u
+MP_PRE_N outn clk vdd vdd pch W=1.5u L=0.18u
+.ends dynlatch
+
+Xcmp vip vin voutp voutn ck avdd agnd dynlatch win=4u
+.end

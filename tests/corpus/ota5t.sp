@@ -1,0 +1,17 @@
+* 5-transistor OTA, lowercase hierarchy dialect
+* (subckt + .param + .global + continuation lines, mixed meter/micron units)
+.param wdiff=4u ldiff=0.36u
+.global vdd vss
+
+.subckt ota5t vinp vinn vout vbias vdd vss
+m1 n1 vinp tail vss nch_lvt W=wdiff L=ldiff
+m2 vout vinn tail vss nch_lvt W={wdiff} L='ldiff'
+m3 n1 n1 vdd vdd pch_lvt W=2e-6 L=0.36
+m4 vout n1 vdd vdd pch_lvt W=2e-6 L=0.36
+m5 tail vbias vss vss nch_lvt
++ W=8u L=0.72u M=2
+cc vout vss 300f
+.ends ota5t
+
+xamp inp inn out bias vdd vss ota5t
+.end

@@ -12,6 +12,8 @@ from repro.io import (
 )
 from repro.io.spice import circuit_to_spice, read_spice, spice_to_circuit, write_spice
 from repro.netlist import build_benchmark
+from repro.netlist.nets import Net, NetType
+from repro.reliability.errors import SpiceParseError
 from repro.router.guidance import RoutingGuidance, uniform_guidance
 
 
@@ -64,8 +66,77 @@ class TestSpiceRoundTrip:
         assert read_spice(path).stats() == ota1.stats()
 
     def test_unsupported_card_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(SpiceParseError) as exc_info:
             spice_to_circuit("Q1 a b c model\n.END\n")
+        assert exc_info.value.line_no == 1
+
+
+class TestSpiceImporterBugs:
+    """Regression tests for the importer bugfix sweep."""
+
+    def test_float_sentinel_never_materializes(self, ota1):
+        # The writer emits _FLOAT_ for unconnected terminals (bulk pins);
+        # the importer must not turn it into a real net shorting them.
+        text = circuit_to_spice(ota1)
+        assert "_FLOAT_" in text
+        restored = spice_to_circuit(text)
+        assert "_FLOAT_" not in restored.nets
+
+    def test_float_sentinel_nettype_line_ignored(self):
+        text = (
+            "* circuit: t\n"
+            "MM1 d g s _FLOAT_ nch W=1.0u L=0.1u NF=1\n"
+            "*.NETTYPE _FLOAT_ signal WEIGHT=1.0\n"
+            ".END\n"
+        )
+        restored = spice_to_circuit(text)
+        assert "_FLOAT_" not in restored.nets
+
+    def test_missing_width_raises_typed_error(self):
+        with pytest.raises(SpiceParseError, match="missing W="):
+            spice_to_circuit("MM1 d g s b nch L=0.1u\n.END\n")
+
+    def test_non_numeric_value_raises_typed_error(self):
+        with pytest.raises(SpiceParseError, match="malformed card"):
+            spice_to_circuit("MM1 d g s b nch W=abc L=0.1u\n.END\n")
+
+    def test_duplicate_device_raises_typed_error(self):
+        text = ("MM1 d g s b nch W=1u L=0.1u\n"
+                "MM1 d2 g2 s2 b2 nch W=1u L=0.1u\n.END\n")
+        with pytest.raises(SpiceParseError) as exc_info:
+            spice_to_circuit(text)
+        assert exc_info.value.line_no == 2
+
+    def test_error_carries_path_from_file(self, tmp_path):
+        path = tmp_path / "bad.sp"
+        path.write_text("MM1 d g s b nch L=0.1u\n.END\n")
+        with pytest.raises(SpiceParseError) as exc_info:
+            read_spice(path)
+        assert exc_info.value.path == str(path)
+        assert str(path) in str(exc_info.value)
+
+    def test_dangling_nettype_net_preserved(self):
+        # A declared net with no device terminal used to be silently
+        # dropped on import; it must survive with its declared metadata.
+        text = (
+            "MM1 d g s b nch W=1.0u L=0.1u\n"
+            "*.NETTYPE probe output WEIGHT=2.5\n"
+            ".END\n"
+        )
+        restored = spice_to_circuit(text)
+        assert "probe" in restored.nets
+        probe = restored.net("probe")
+        assert probe.net_type == NetType.OUTPUT
+        assert probe.weight == 2.5
+        assert probe.connections == []
+
+    def test_dangling_net_round_trips(self):
+        # Fresh circuit: the session-scoped ota1 fixture is read-only.
+        circuit = build_benchmark("OTA1")
+        circuit.add_net(Net(name="PROBE", net_type=NetType.SIGNAL, weight=3.0))
+        restored = spice_to_circuit(circuit_to_spice(circuit))
+        assert "PROBE" in restored.nets
+        assert restored.net("PROBE").weight == 3.0
 
 
 class TestGuidanceIo:
